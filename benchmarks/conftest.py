@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Each ``test_bench_*.py`` module regenerates one paper artifact (table or
+figure — see DESIGN.md §5) by running its experiment and printing the
+table, and additionally times the underlying kernels with
+pytest-benchmark for regression tracking.
+
+Set ``REPRO_BENCH_FULL=1`` to run experiments at paper scale (Figure 5's
+1M–256M arrays go through the analytic path, so even full scale stays
+fast; the wall-clock refinements grow with the flag).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.tables import render_result
+from repro.types import ExperimentResult
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit(result: ExperimentResult) -> None:
+    """Print a regenerated paper table through the uniform renderer."""
+    print()
+    print(render_result(result))
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Whether paper-scale parameters were requested."""
+    return FULL

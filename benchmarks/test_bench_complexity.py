@@ -1,0 +1,26 @@
+"""COMPLEX bench — Section III complexity fit plus counted-mode timing."""
+
+import pytest
+
+from repro.experiments.complexity_fit import run as run_complex
+from repro.pram.merge_programs import counted_parallel_merge
+from repro.workloads.generators import sorted_uniform_ints
+
+from .conftest import FULL, emit
+
+
+def test_complexity_table_regeneration(benchmark):
+    exponents = (10, 12, 14, 16) if FULL else (10, 12, 14)
+    result = benchmark.pedantic(
+        run_complex, kwargs=dict(exponents=exponents), rounds=1, iterations=1
+    )
+    emit(result)
+    r2 = float(result.notes[0].split("R² = ")[1].split(",")[0])
+    assert r2 > 0.999
+
+
+def test_bench_counted_merge(benchmark):
+    a = sorted_uniform_ints(1 << 14, 400)
+    b = sorted_uniform_ints(1 << 14, 401)
+    counted = benchmark(counted_parallel_merge, a, b, 8)
+    assert counted.work >= counted.time

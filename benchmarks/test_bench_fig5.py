@@ -1,0 +1,63 @@
+"""FIG5 bench — regenerates Figure 5 and times Algorithm 1's phases.
+
+Prints the speedup table (model + counted columns) and benchmarks the
+two phases the figure is made of: the partition (diagonal searches) and
+the per-segment merge kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.merge_path import partition_merge_path
+from repro.core.parallel_merge import parallel_merge
+from repro.experiments.fig5_speedup import run as run_fig5
+from repro.workloads.generators import sorted_uniform_ints
+
+from .conftest import FULL, emit
+
+N = 1 << 22 if FULL else 1 << 18
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return sorted_uniform_ints(N, 100), sorted_uniform_ints(N, 101)
+
+
+def test_fig5_table_regeneration(benchmark):
+    """Regenerate the Figure 5 speedup series (the paper's artifact)."""
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(
+            full=True,
+            counted=True,
+            counted_elements=(1 << 16) if FULL else (1 << 13),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    at12 = [float(r["model_speedup"]) for r in result.rows if r["p"] == 12]
+    # shape assertions: near-linear, paper-headline band, droop for 256M
+    assert 11.0 <= sum(at12) / len(at12) <= 12.0
+    assert at12[-1] == min(at12)  # largest size slowest
+
+
+def test_bench_partition_12_diagonals(benchmark, pair):
+    """Time the full 12-way partition (the figure's overhead term)."""
+    a, b = pair
+    part = benchmark(partition_merge_path, a, b, 12, check=False)
+    assert part.max_imbalance <= 1
+
+
+def test_bench_parallel_merge_threads(benchmark, pair):
+    """Time end-to-end Algorithm 1 on the thread backend."""
+    a, b = pair
+    out = benchmark(parallel_merge, a, b, 4, backend="threads", check=False)
+    assert len(out) == 2 * N
+
+
+def test_bench_sequential_baseline(benchmark, pair):
+    """Time the p=1 baseline the figure normalizes against."""
+    a, b = pair
+    out = benchmark(parallel_merge, a, b, 1, backend="serial", check=False)
+    assert len(out) == 2 * N

@@ -1,0 +1,68 @@
+"""GPU-model bench — the blocked (moderngpu-style) merge.
+
+Not a paper artifact (the paper predates the GPU libraries), but the
+legacy DESIGN.md documents: times the two-level partition + tile merge
+against the flat CPU path and prints the kernel's traffic counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.parallel_merge import parallel_merge
+from repro.gpu import GPUSpec, blocked_merge
+from repro.workloads.generators import sorted_uniform_ints
+
+from .conftest import FULL
+
+N = (1 << 19) if FULL else (1 << 15)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return sorted_uniform_ints(N, 800), sorted_uniform_ints(N, 801)
+
+
+def test_gpu_traffic_table(benchmark, pair):
+    """Regenerate the traffic/uniformity counters per tuning."""
+    a, b = pair
+    rows = []
+
+    def run_all():
+        out = []
+        for tpb, vt in ((64, 3), (128, 7), (256, 11)):
+            spec = GPUSpec(threads_per_block=tpb, items_per_thread=vt,
+                           shared_limit_elements=tpb * vt)
+            merged, stats = blocked_merge(a, b, spec)
+            out.append((tpb, vt, stats))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for tpb, vt, stats in results:
+        rows.append([
+            f"{tpb}x{vt}",
+            stats.tiles,
+            stats.global_loads,
+            stats.global_stores,
+            stats.max_thread_steps,
+            sum(1 for s in stats.thread_steps if s != vt),
+        ])
+    print()
+    print(render_table(
+        ["tuning", "tiles", "global_loads", "global_stores",
+         "max_thread_steps", "ragged_threads"],
+        rows,
+    ))
+    for row in rows:
+        assert row[5] <= 1  # SIMT uniformity: at most one ragged thread
+
+
+def test_bench_blocked_merge(benchmark, pair):
+    a, b = pair
+    out, _ = benchmark(blocked_merge, a, b, collect_stats=False)
+    assert len(out) == 2 * N
+
+
+def test_bench_flat_merge_reference(benchmark, pair):
+    a, b = pair
+    benchmark(parallel_merge, a, b, 1, backend="serial", check=False)

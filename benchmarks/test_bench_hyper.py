@@ -1,0 +1,26 @@
+"""HYPER bench — Section VII's many-core prediction, regenerated."""
+
+import pytest
+
+from repro.experiments.hypercore import run as run_hyper
+
+from .conftest import FULL, emit
+
+
+def test_hyper_table_regeneration(benchmark):
+    result = benchmark.pedantic(
+        run_hyper,
+        kwargs=dict(
+            n_per_array=(1 << 13) if FULL else (1 << 12),
+            ps=(4, 16, 64),
+            cache_elements=1 << 10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    speedups = [
+        float(r["spm_speedup"]) for r in result.rows if r["algorithm"] == "SPM"
+    ]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 3.0

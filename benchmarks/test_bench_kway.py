@@ -1,0 +1,58 @@
+"""k-way merge bench — the extension's three strategies compared.
+
+Not a paper artifact; quantifies the k-way design space DESIGN.md
+describes: binary-heap (O(N log T) comparisons, pointer-chasing),
+pairwise merge-path tree (log T passes of vectorized merges), and the
+partitioned k-way merge (balanced output ranges, tournament inside).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.heap_kway import heap_kway_merge
+from repro.core.kway import kway_merge
+from repro.core.parallel_merge import parallel_merge
+from repro.workloads.generators import sorted_uniform_ints
+
+from .conftest import FULL
+
+T = 16
+PER = (1 << 14) if FULL else (1 << 11)
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    return [sorted_uniform_ints(PER, 900 + t) for t in range(T)]
+
+
+@pytest.fixture(scope="module")
+def expected(arrays):
+    return np.sort(np.concatenate(arrays), kind="mergesort")
+
+
+def test_bench_heap_kway(benchmark, arrays, expected):
+    out = benchmark(heap_kway_merge, arrays, check=False)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_bench_pairwise_tree(benchmark, arrays, expected):
+    def tree():
+        runs = list(arrays)
+        while len(runs) > 1:
+            nxt = [
+                parallel_merge(runs[i], runs[i + 1], 1, backend="serial",
+                               check=False)
+                for i in range(0, len(runs) - 1, 2)
+            ]
+            if len(runs) % 2:
+                nxt.append(runs[-1])
+            runs = nxt
+        return runs[0]
+
+    out = benchmark(tree)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_bench_partitioned_kway(benchmark, arrays, expected):
+    out = benchmark(kway_merge, arrays, 4, backend="serial", check=False)
+    np.testing.assert_array_equal(out, expected)

@@ -1,0 +1,65 @@
+"""LB bench — Section V load-balance comparison plus partitioner timings
+and the galloping-kernel ablation on clustered data."""
+
+import pytest
+
+from repro.baselines.akl_santoro import akl_santoro_partition
+from repro.baselines.shiloach_vishkin import sv_partition
+from repro.core.merge_path import partition_merge_path
+from repro.core.sequential import merge_galloping, merge_two_pointer
+from repro.experiments.load_balance import run as run_lb
+from repro.workloads.adversarial import disjoint_high_low
+
+from .conftest import FULL, emit
+
+N = (1 << 18) if FULL else (1 << 14)
+
+
+@pytest.fixture(scope="module")
+def disjoint_pair():
+    return disjoint_high_low(N)
+
+
+def test_lb_table_regeneration(benchmark):
+    result = benchmark.pedantic(
+        run_lb, kwargs=dict(n=(1 << 16) if FULL else (1 << 12)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    sv_ratios = [
+        float(r["max_over_avg"])
+        for r in result.rows
+        if r["algorithm"] == "shiloach_vishkin"
+        and r["workload"] == "disjoint_high_low"
+    ]
+    assert max(sv_ratios) > 2.0  # the paper's 2x-latency scenario
+
+
+def test_bench_merge_path_partition(benchmark, disjoint_pair):
+    a, b = disjoint_pair
+    benchmark(partition_merge_path, a, b, 16, check=False)
+
+
+def test_bench_sv_partition(benchmark, disjoint_pair):
+    a, b = disjoint_pair
+    benchmark(sv_partition, a, b, 16)
+
+
+def test_bench_akl_santoro_partition(benchmark, disjoint_pair):
+    a, b = disjoint_pair
+    benchmark(akl_santoro_partition, a, b, 16)
+
+
+def test_bench_gallop_vs_two_pointer_on_runs(benchmark, disjoint_pair):
+    """Ablation: galloping kernel on fully clustered data (its best case;
+    the disjoint pair is one giant run per array)."""
+    a, b = disjoint_pair
+    small_a, small_b = a[: 1 << 12], b[: 1 << 12]
+    benchmark(merge_galloping, small_a, small_b, check=False)
+    # sanity: both kernels agree
+    import numpy as np
+
+    np.testing.assert_array_equal(
+        merge_galloping(small_a, small_b, check=False),
+        merge_two_pointer(small_a, small_b, check=False),
+    )

@@ -1,0 +1,45 @@
+"""REM6PCT bench — the single-thread overhead remark of Section VI."""
+
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.core.parallel_merge import parallel_merge
+from repro.core.sequential import merge_vectorized
+from repro.experiments.overhead import run as run_overhead
+from repro.workloads.generators import sorted_uniform_ints
+
+from .conftest import FULL, emit
+
+N = 1 << 21 if FULL else 1 << 17
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return sorted_uniform_ints(N, 200), sorted_uniform_ints(N, 201)
+
+
+def test_overhead_table_regeneration(benchmark):
+    result = benchmark.pedantic(
+        run_overhead,
+        kwargs=dict(
+            elements=N,
+            counted_elements=(1 << 13) if FULL else (1 << 10),
+            reps=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    counted_row = result.rows[1]
+    assert counted_row["overhead_pct"] == 0
+
+
+def test_bench_raw_sequential_merge(benchmark, pair):
+    a, b = pair
+    benchmark(merge_vectorized, a, b, check=False)
+
+
+def test_bench_merge_path_p1(benchmark, pair):
+    a, b = pair
+    backend = SerialBackend()
+    benchmark(parallel_merge, a, b, 1, backend=backend, check=False)

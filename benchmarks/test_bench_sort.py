@@ -1,0 +1,59 @@
+"""SORT bench — Sections III/IV.C sort scaling, plus sort implementations
+timed against numpy's sort and the bitonic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitonic import bitonic_sort
+from repro.core.cache_sort import cache_efficient_sort
+from repro.core.merge_sort import parallel_merge_sort
+from repro.experiments.sort_scaling import run as run_sort
+from repro.workloads.generators import unsorted_uniform_ints
+
+from .conftest import FULL, emit
+
+N = (1 << 16) if FULL else (1 << 13)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return unsorted_uniform_ints(N, 600)
+
+
+def test_sort_table_regeneration(benchmark):
+    result = benchmark.pedantic(
+        run_sort,
+        kwargs=dict(
+            exponents=(12, 14, 16) if FULL else (10, 12),
+            ps=(2, 4, 8),
+            cache_elements=1 << 10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    spm = [r for r in result.rows if r["part"] == "final_round_SPM"][0]
+    basic = [r for r in result.rows if r["part"] == "final_round_basic"][0]
+    assert float(spm["ratio"]) < float(basic["ratio"])
+
+
+def test_bench_parallel_merge_sort(benchmark, data):
+    out = benchmark(parallel_merge_sort, data, 4, backend="serial")
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_cache_efficient_sort(benchmark, data):
+    out = benchmark(
+        cache_efficient_sort, data, 4, 1 << 12, backend="serial"
+    )
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_bitonic_sort(benchmark, data):
+    small = data[: 1 << 12]
+    out = benchmark(bitonic_sort, small)
+    assert np.all(out[:-1] <= out[1:])
+
+
+def test_bench_numpy_reference(benchmark, data):
+    benchmark(np.sort, data, kind="mergesort")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: why Segmented Parallel Merge exists (Section IV, visually).
+
+Replays the exact memory traces of the basic parallel merge and SPM
+through the cache simulator on a small shared-cache machine
+(Hypercore-like), printing per-algorithm DRAM fills and the 3-way
+associativity result.
+
+Run:  python examples/cache_aware_merge.py
+"""
+
+from repro.cache.set_assoc import ReplacementPolicy, SetAssociativeCache
+from repro.cache.trace import AddressMap
+from repro.cache.traced_merge import (
+    trace_parallel_merge,
+    trace_segmented_merge,
+    trace_sequential_merge,
+)
+from repro.core.segmented_merge import block_length
+from repro.workloads.generators import sorted_uniform_ints
+
+ELEMENT_BYTES = 4
+LINE_BYTES = 32
+
+
+def replay(trace, amap, cache_elements, assoc):
+    cache = SetAssociativeCache(
+        cache_elements * ELEMENT_BYTES, LINE_BYTES, assoc, ReplacementPolicy.LRU
+    )
+    for acc in trace:
+        cache.access(amap.byte_address(acc.array, acc.index), acc.write)
+    return cache.stats
+
+
+def main() -> None:
+    n = 16_384           # elements per input array
+    p = 8                # cores sharing one cache
+    cache_elements = 1024  # tiny shared cache: arrays are 16x larger
+    L = block_length(cache_elements)  # the paper's L = C/3
+
+    a = sorted_uniform_ints(n, 1)
+    b = sorted_uniform_ints(n, 2)
+    amap = AddressMap({"A": n, "B": n, "S": 2 * n}, element_bytes=ELEMENT_BYTES)
+    compulsory = (4 * n * ELEMENT_BYTES) // LINE_BYTES  # each line once
+
+    print(f"arrays: 2 x {n} elements; shared cache: {cache_elements} elements;"
+          f" SPM block L = C/3 = {L}")
+    print(f"compulsory floor: {compulsory} line fills\n")
+
+    traces = {
+        "sequential merge  ": trace_sequential_merge(a, b),
+        f"basic parallel p={p}": trace_parallel_merge(a, b, p),
+        f"segmented SPM  p={p}": trace_segmented_merge(a, b, p, L),
+    }
+    print(f"{'algorithm':<22} {'assoc':>6} {'misses':>9} {'vs floor':>9}")
+    for name, trace in traces.items():
+        for assoc in (1, 3, 16):
+            stats = replay(trace, amap, cache_elements, assoc)
+            print(f"{name:<22} {assoc:>4}-way {stats.misses:>9,} "
+                  f"{stats.misses / compulsory:>8.2f}x")
+        print()
+
+    print("reading the table:")
+    print(" * SPM at >=3-way sits on the compulsory floor — every line")
+    print("   fetched exactly once (the paper's Section IV claim);")
+    print(" * the basic parallel merge thrashes low-associativity caches")
+    print("   because p cores stream 3p distant regions concurrently;")
+    print(" * 3-way is the break-even associativity for SPM's three")
+    print("   L-sized streams (the paper's associativity remark).")
+
+
+if __name__ == "__main__":
+    main()

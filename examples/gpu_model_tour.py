@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tour of the SIMT (moderngpu-style) execution model.
+
+Shows what the paper's partitioning became on GPUs: two-level diagonal
+searches (grid tiles, then per-thread segments), perfectly uniform
+per-thread work, and the traffic counters kernel authors tune.
+
+Run:  python examples/gpu_model_tour.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.gpu import GPUSpec, blocked_merge, blocked_sort, plan_tiles
+from repro.workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
+
+
+def main() -> None:
+    n = 200_000
+    a = sorted_uniform_ints(n, 1)
+    b = sorted_uniform_ints(n - 12_345, 2)
+    spec = GPUSpec(threads_per_block=128, items_per_thread=7,
+                   shared_limit_elements=4096)
+    print(f"merging {len(a):,} + {len(b):,} elements with "
+          f"{spec.threads_per_block}x{spec.items_per_thread} tiles "
+          f"(NV = {spec.tile_size})\n")
+
+    plans = plan_tiles(a, b, spec)
+    print(f"grid-level partition: {len(plans)} tiles, every tile "
+          f"<= {spec.tile_size} staged elements")
+    spans = [p.staged_elements for p in plans]
+    print(f"  staged elements per tile: min {min(spans)}, max {max(spans)}")
+
+    merged, stats = blocked_merge(a, b, spec)
+    assert np.all(merged[:-1] <= merged[1:])
+    hist = Counter(stats.thread_steps)
+    print("\nblock-level execution:")
+    print(f"  threads launched: {len(stats.thread_steps):,}")
+    print(f"  per-thread serial steps: {dict(hist)}")
+    print("  (every thread does exactly VT steps except the ragged tail —")
+    print("   zero SIMT divergence in trip counts, the scheme's selling point)")
+    print(f"  global loads:  {stats.global_loads:,} (= every element, once)")
+    print(f"  global stores: {stats.global_stores:,}")
+    print(f"  shared loads:  {stats.shared_loads:,}")
+    print(f"  search probes: grid {stats.grid_search_probes:,}, "
+          f"block {stats.block_search_probes:,}")
+
+    # --- full mergesort in the same model --------------------------
+    x = unsorted_uniform_ints(100_000, 3)
+    out, sort_stats = blocked_sort(x, spec)
+    assert np.array_equal(out, np.sort(x))
+    print(f"\nblocked mergesort of {len(x):,} elements:")
+    print(f"  block-sort launch: {sort_stats.tiles} tiles, "
+          f"{sort_stats.block_sort_comparators:,} network comparators "
+          f"at depth {sort_stats.block_sort_depth}")
+    print(f"  merge rounds: {sort_stats.merge_rounds}")
+    for r, rs in enumerate(sort_stats.round_stats, 1):
+        print(f"    round {r}: {rs.tiles} tiles, "
+              f"{rs.global_loads:,} loads")
+    print("\n  each round moves every merged element exactly once (an odd")
+    print("  run out is carried untouched, e.g. round 5) — the O(N)-per-")
+    print("  round traffic Merge Path's balanced partitioning guarantees.")
+
+
+if __name__ == "__main__":
+    main()

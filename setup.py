@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on hosts without the
+``wheel`` package (``pip install -e .`` falls back to setup.py develop)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro [EXP_ID ...]``.
+
+With no arguments, lists the available experiments.  With ids (or
+``all``), runs each and prints its table — the same rendering the
+benchmark harness and EXPERIMENTS.md use.
+
+Options
+-------
+--quick
+    Use reduced sizes where an experiment distinguishes scales
+    (currently FIG5's ``full`` flag).
+--chart
+    For FIG5, additionally render the speedup series as a text bar
+    chart — the figure itself, not just its table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis.figures import grouped_bar_chart
+from .analysis.tables import render_result
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .types import ExperimentResult
+
+
+def _fig5_chart(result: ExperimentResult) -> str:
+    groups: dict[str, dict[str, float]] = {}
+    for row in result.rows:
+        group = f"p={row['p']}"
+        groups.setdefault(group, {})[f"{row['size_Melem']}M"] = float(
+            row["model_speedup"]  # type: ignore[arg-type]
+        )
+    return grouped_bar_chart(groups, width=48)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    chart = "--chart" in args
+    args = [a for a in args if a not in ("--quick", "--chart")]
+
+    if not args:
+        print("usage: python -m repro [--quick] [--chart] EXP_ID [EXP_ID ...]"
+              " | all | report | selftest | scorecard | api\n")
+        print("available experiments:")
+        for exp_id, (_fn, desc) in EXPERIMENTS.items():
+            print(f"  {exp_id:<8} {desc}")
+        print("\n  report     run everything and emit a Markdown report")
+        print("  selftest   verify every implementation on an input grid")
+        print("  scorecard  evaluate all 14 paper claims as PASS/FAIL")
+        print("  api        print the public-API index")
+        return 0
+
+    if args == ["report"]:
+        from .analysis.report import generate_report
+
+        print(generate_report(quick=quick))
+        return 0
+
+    if args == ["selftest"]:
+        from .selftest import run_selftest
+
+        failures = run_selftest()
+        return 1 if failures else 0
+
+    if args == ["api"]:
+        from .apidoc import render_api_index
+
+        print(render_api_index())
+        return 0
+
+    if args == ["scorecard"]:
+        from .scorecard import evaluate_claims, render_scorecard
+
+        results = evaluate_claims()
+        print(render_scorecard(results))
+        return 0 if all(ok for _, ok in results) else 1
+
+    ids = list(EXPERIMENTS) if args == ["all"] else [a.upper() for a in args]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"known ids: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        kwargs: dict[str, object] = {}
+        if quick and exp_id == "FIG5":
+            kwargs["full"] = False
+        result = run_experiment(exp_id, **kwargs)
+        print(render_result(result))
+        if chart and exp_id == "FIG5":
+            print()
+            print("Figure 5 (speedup bars, grouped by thread count):")
+            print(_fig5_chart(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

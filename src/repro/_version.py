@@ -1,0 +1,9 @@
+"""Version information for the merge-path reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "Saher Odeh, Oded Green, Zahi Mwassi, Oz Shmueli, Yitzhak Birk. "
+    '"Merge Path - Parallel Merging Made Simple", IPPS 2012.'
+)

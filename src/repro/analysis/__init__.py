@@ -1,0 +1,26 @@
+"""Analysis utilities: speedup math, complexity fitting, table rendering."""
+
+from .speedup import speedup, efficiency, amdahl_speedup, gustafson_speedup
+from .complexity import fit_merge_time_model, ComplexityFit
+from .tables import render_table, render_result
+from .figures import bar_chart, grouped_bar_chart
+from .calibration import Observation, CalibrationResult, fit_timing_model
+from .report import generate_report, result_to_markdown
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "fit_merge_time_model",
+    "ComplexityFit",
+    "render_table",
+    "render_result",
+    "bar_chart",
+    "grouped_bar_chart",
+    "Observation",
+    "CalibrationResult",
+    "fit_timing_model",
+    "generate_report",
+    "result_to_markdown",
+]

@@ -1,0 +1,124 @@
+"""Calibrating the timing model from measured speedups.
+
+The Figure 5 model has three free-ish constants: sustained DRAM
+bandwidth, the bandwidth derate per working-set doubling, and CPU
+cycles per counted operation.  Given *measured* speedups from a real
+machine (size, p, speedup triples), :func:`fit_timing_model` recovers
+the constants by minimizing squared log-error with Nelder–Mead — the
+tool a user needs to port the FIG5 reproduction to their own hardware,
+and the honest way to show how many knobs the model has (three) versus
+how many observations constrain them (dozens).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import InputError
+from ..machine.specs import MachineSpec
+from ..machine.timing import TimingModel
+
+__all__ = ["Observation", "CalibrationResult", "fit_timing_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One measured point: per-array length, thread count, speedup."""
+
+    a_len: int
+    b_len: int
+    p: int
+    speedup: float
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Fitted constants and goodness of fit."""
+
+    dram_bw_bytes_s: float
+    bw_droop_per_doubling: float
+    cycles_per_op: float
+    rms_log_error: float
+    model: TimingModel
+
+    def predicted(self, obs: Observation) -> float:
+        """The fitted model's speedup for one observation's config."""
+        return self.model.speedup(obs.a_len, obs.b_len, obs.p)
+
+
+def fit_timing_model(
+    observations: Sequence[Observation],
+    spec: MachineSpec,
+    *,
+    initial_dram_bw: float | None = None,
+    initial_droop: float | None = None,
+    initial_cycles_per_op: float = 2.5,
+) -> CalibrationResult:
+    """Fit (DRAM bandwidth, droop, cycles/op) to measured speedups.
+
+    Parameters
+    ----------
+    observations:
+        At least 4 measured points; include some memory-bound configs
+        (large arrays at high p) or the bandwidth constants are
+        unidentifiable and will simply return their initial values.
+    spec:
+        Machine description providing the fixed topology/cache numbers.
+    initial_*:
+        Optimizer starting point (defaults: the spec's own values).
+
+    Returns
+    -------
+    CalibrationResult
+        Fitted constants, RMS log-error, and a ready
+        :class:`~repro.machine.timing.TimingModel`.
+    """
+    if len(observations) < 4:
+        raise InputError(f"need >= 4 observations, got {len(observations)}")
+    for obs in observations:
+        if obs.speedup <= 0 or obs.p < 1:
+            raise InputError(f"invalid observation {obs}")
+
+    x0 = np.array([
+        math.log(initial_dram_bw or spec.dram_bw_bytes_s),
+        (initial_droop if initial_droop is not None
+         else spec.bw_droop_per_doubling),
+        math.log(initial_cycles_per_op),
+    ])
+
+    def build(params: np.ndarray) -> TimingModel:
+        log_bw, droop, log_cpo = params
+        trial_spec = dataclasses.replace(
+            spec,
+            dram_bw_bytes_s=math.exp(log_bw),
+            bw_droop_per_doubling=max(0.0, droop),
+        )
+        return TimingModel(trial_spec, cycles_per_op=math.exp(log_cpo))
+
+    def loss(params: np.ndarray) -> float:
+        model = build(params)
+        err = 0.0
+        for obs in observations:
+            pred = model.speedup(obs.a_len, obs.b_len, obs.p)
+            err += (math.log(pred) - math.log(obs.speedup)) ** 2
+        return err
+
+    result = optimize.minimize(
+        loss, x0, method="Nelder-Mead",
+        options={"maxiter": 2000, "xatol": 1e-6, "fatol": 1e-10},
+    )
+    model = build(result.x)
+    rms = math.sqrt(loss(result.x) / len(observations))
+    return CalibrationResult(
+        dram_bw_bytes_s=math.exp(result.x[0]),
+        bw_droop_per_doubling=max(0.0, float(result.x[1])),
+        cycles_per_op=math.exp(result.x[2]),
+        rms_log_error=rms,
+        model=model,
+    )

@@ -1,0 +1,76 @@
+"""Fitting measured PRAM times to the paper's complexity model.
+
+Section III: Algorithm 1's time is ``O(N/p + log N)``.  The COMPLEX
+experiment measures lockstep-PRAM cycle counts over a grid of (N, p)
+and fits ``T ≈ c1·N/p + c2·log2(N) + c0`` by least squares; a good fit
+(R² near 1, small relative residuals) is the reproduction of the
+complexity claim.  scipy's ``lstsq`` does the algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg
+
+from ..errors import InputError
+
+__all__ = ["ComplexityFit", "fit_merge_time_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexityFit:
+    """Least-squares fit of ``T = c1·(N/p) + c2·log2 N + c0``."""
+
+    c_linear: float      # coefficient of N/p
+    c_log: float         # coefficient of log2(N)
+    c_const: float
+    r_squared: float
+    max_rel_residual: float
+
+    def predict(self, n: int, p: int) -> float:
+        """Model prediction for one configuration."""
+        return (
+            self.c_linear * (n / p)
+            + self.c_log * np.log2(max(n, 2))
+            + self.c_const
+        )
+
+
+def fit_merge_time_model(
+    ns: list[int], ps: list[int], times: list[float]
+) -> ComplexityFit:
+    """Fit the Section III time model to measured (N, p, T) triples.
+
+    Parameters are parallel lists (one entry per measurement).  Raises
+    :class:`~repro.errors.InputError` on shape mismatch or fewer than
+    four points (three coefficients need slack to be meaningful).
+    """
+    if not (len(ns) == len(ps) == len(times)):
+        raise InputError("ns, ps, times must have equal lengths")
+    if len(ns) < 4:
+        raise InputError(f"need at least 4 measurements, got {len(ns)}")
+    n_arr = np.asarray(ns, dtype=float)
+    p_arr = np.asarray(ps, dtype=float)
+    t_arr = np.asarray(times, dtype=float)
+    if np.any(n_arr < 1) or np.any(p_arr < 1) or np.any(t_arr < 0):
+        raise InputError("N, p must be >= 1 and times >= 0")
+
+    design = np.column_stack(
+        [n_arr / p_arr, np.log2(np.maximum(n_arr, 2)), np.ones_like(n_arr)]
+    )
+    coef, _res, _rank, _sv = linalg.lstsq(design, t_arr)
+    pred = design @ coef
+    ss_res = float(np.sum((t_arr - pred) ** 2))
+    ss_tot = float(np.sum((t_arr - t_arr.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(t_arr - pred) / np.where(t_arr > 0, t_arr, 1.0)
+    return ComplexityFit(
+        c_linear=float(coef[0]),
+        c_log=float(coef[1]),
+        c_const=float(coef[2]),
+        r_squared=r2,
+        max_rel_residual=float(rel.max()),
+    )

@@ -1,0 +1,85 @@
+"""Terminal figure rendering (no plotting dependencies).
+
+The paper's Figure 5 is a grouped bar chart; :func:`bar_chart` renders
+the same thing in plain text so ``python -m repro FIG5 --chart`` can
+show the *figure*, not just the table, anywhere a terminal exists.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import InputError
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BLOCK = "█"
+_PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Unicode bar of ``value`` against ``scale`` in ``width`` cells."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    bar = _BLOCK * full
+    if frac:
+        bar += _PARTIAL[frac]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise InputError("labels and values must have equal lengths")
+    if not labels:
+        return "(empty chart)"
+    scale = max(values)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{str(label):>{label_w}} | "
+            f"{_bar(value, scale, width):<{width}} "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Grouped horizontal bars: ``{group: {series: value}}``.
+
+    Renders each group as a block of bars sharing one global scale —
+    the textual equivalent of Figure 5's thread-count groups of
+    size-colored bars.
+    """
+    if not groups:
+        return "(empty chart)"
+    all_values = [v for series in groups.values() for v in series.values()]
+    scale = max(all_values) if all_values else 1.0
+    series_w = max(
+        (len(str(s)) for series in groups.values() for s in series), default=1
+    )
+    lines = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            lines.append(
+                f"  {str(name):>{series_w}} | "
+                f"{_bar(value, scale, width):<{width}} "
+                f"{value_format.format(value)}"
+            )
+    return "\n".join(lines)

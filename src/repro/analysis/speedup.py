@@ -1,0 +1,63 @@
+"""Speedup and efficiency arithmetic, including the classical laws.
+
+Amdahl [14] and Gustafson [15] are cited by the paper; the FIG5
+experiment reports the Amdahl bound implied by the measured serial
+fraction alongside the model speedups so the reader can see Merge
+Path's serial part (the log-depth partition) is negligible.
+"""
+
+from __future__ import annotations
+
+from ..errors import InputError
+
+__all__ = ["speedup", "efficiency", "amdahl_speedup", "gustafson_speedup",
+           "serial_fraction_from_speedup"]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Classical speedup ``T(1) / T(p)``."""
+    if t1 <= 0 or tp <= 0:
+        raise InputError(f"times must be positive, got t1={t1}, tp={tp}")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """Parallel efficiency ``speedup / p`` ∈ (0, 1] for real programs."""
+    if p < 1:
+        raise InputError(f"p must be >= 1, got {p}")
+    return speedup(t1, tp) / p
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Amdahl's law: ``1 / (s + (1 - s)/p)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise InputError(f"serial fraction must be in [0,1], got {serial_fraction}")
+    if p < 1:
+        raise InputError(f"p must be >= 1, got {p}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Gustafson's law (scaled speedup): ``p - s·(p - 1)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise InputError(f"serial fraction must be in [0,1], got {serial_fraction}")
+    if p < 1:
+        raise InputError(f"p must be >= 1, got {p}")
+    return p - serial_fraction * (p - 1)
+
+
+def serial_fraction_from_speedup(measured_speedup: float, p: int) -> float:
+    """Invert Amdahl: the serial fraction explaining a measured speedup.
+
+    Returns 0.0 when the measurement meets or exceeds ``p`` (super-
+    linear measurements happen with cache effects; clamp rather than
+    report a negative fraction).
+    """
+    if p < 2:
+        raise InputError(f"need p >= 2 to infer a serial fraction, got {p}")
+    if measured_speedup <= 0:
+        raise InputError(f"speedup must be positive, got {measured_speedup}")
+    if measured_speedup >= p:
+        return 0.0
+    # S = 1 / (s + (1-s)/p)  =>  s = (p/S - 1) / (p - 1)
+    return (p / measured_speedup - 1.0) / (p - 1.0)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmarks and the ``python -m repro`` CLI print every regenerated
+table/figure through these helpers so output formatting is uniform and
+file-diffable (EXPERIMENTS.md embeds the same rendering).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..types import ExperimentResult
+
+__all__ = ["render_table", "render_result", "format_value"]
+
+
+def format_value(v: object) -> str:
+    """Compact human formatting: floats to 3 significant decimals,
+    large ints with thousands separators."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.3f}".rstrip("0").rstrip(".")
+        return f"{v:.4g}"
+    if isinstance(v, int) and abs(v) >= 10000:
+        return f"{v:,}"
+    return str(v)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated table."""
+    header = [str(c) for c in columns]
+    body = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render an :class:`~repro.types.ExperimentResult` with its notes."""
+    rows = [[row.get(c, "") for c in result.columns] for row in result.rows]
+    parts = [
+        f"== {result.exp_id}: {result.title} ==",
+        render_table(result.columns, rows),
+    ]
+    for note in result.notes:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)

@@ -1,0 +1,70 @@
+"""Public-API index generation: ``python -m repro api``.
+
+Walks ``repro.__all__`` (plus the subpackage entry points) and prints
+each public name with the first line of its docstring — an index that
+can never drift from the code because it *is* the code.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+__all__ = ["api_index", "render_api_index"]
+
+#: Subpackages whose own __all__ is included in the index.
+SUBPACKAGES = (
+    "repro.core",
+    "repro.backends",
+    "repro.pram",
+    "repro.cache",
+    "repro.machine",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.gpu",
+    "repro.external",
+    "repro.experiments",
+)
+
+
+def _summary(obj: object) -> str:
+    # typing aliases (e.g. repro.pram.Program) carry no docstring of
+    # their own; classify rather than flag them
+    if getattr(type(obj), "__module__", "").startswith("typing"):
+        return "(type alias)"
+    doc = inspect.getdoc(obj) or ""
+    first = doc.split("\n", 1)[0].strip()
+    return first or "(undocumented)"
+
+
+def api_index() -> dict[str, list[tuple[str, str]]]:
+    """``{module: [(name, one-line summary), ...]}`` for the public API."""
+    import importlib
+
+    out: dict[str, list[tuple[str, str]]] = {}
+    top = importlib.import_module("repro")
+    out["repro"] = [
+        (name, _summary(getattr(top, name)))
+        for name in top.__all__
+        if not name.startswith("_") and not isinstance(getattr(top, name), str)
+    ]
+    for mod_name in SUBPACKAGES:
+        mod = importlib.import_module(mod_name)
+        names = getattr(mod, "__all__", [])
+        out[mod_name] = [
+            (name, _summary(getattr(mod, name))) for name in names
+        ]
+    return out
+
+
+def render_api_index() -> str:
+    """The index as aligned plain text."""
+    lines: list[str] = []
+    for mod, entries in api_index().items():
+        lines.append(f"{mod}")
+        lines.append("=" * len(mod))
+        width = max((len(n) for n, _ in entries), default=0)
+        for name, summary in entries:
+            lines.append(f"  {name:<{width}}  {summary}")
+        lines.append("")
+    return "\n".join(lines)

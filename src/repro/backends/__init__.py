@@ -1,0 +1,46 @@
+"""Execution backends: how per-segment work actually runs.
+
+The paper's Algorithm 1 is backend-agnostic — it only requires that each
+processor can (a) read the shared inputs, (b) write a disjoint slice of
+the shared output, and (c) hit a barrier at the end.  This package
+provides four interchangeable realizations:
+
+``SerialBackend``
+    Runs segments one after the other in the calling thread.  The
+    baseline for the single-thread overhead experiment (REM6PCT).
+``ThreadBackend``
+    ``concurrent.futures.ThreadPoolExecutor``.  True shared memory, no
+    copies; numpy kernels release the GIL during their C loops so large
+    vectorized segments overlap.
+``ProcessBackend``
+    ``multiprocessing`` workers over ``multiprocessing.shared_memory``
+    blocks, sidestepping the GIL entirely.  This is the closest CPython
+    analogue of the paper's OpenMP threads.
+``SimulatedBackend``
+    Executes segments serially while *accounting* them as parallel: it
+    records per-task operation counts and reports PRAM time (max over
+    processors) and work (sum).  Used to regenerate Figure 5 at paper
+    scale on any host.
+
+Use :func:`get_backend` to resolve a backend by name.
+"""
+
+from .base import Backend, TaskResult, get_backend, available_backends
+from .serial import SerialBackend
+from .threads import ThreadBackend
+from .processes import ProcessBackend
+from .simulated import SimulatedBackend
+from .mpi import MPIBackend, mpi_available
+
+__all__ = [
+    "Backend",
+    "TaskResult",
+    "get_backend",
+    "available_backends",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "MPIBackend",
+    "mpi_available",
+]

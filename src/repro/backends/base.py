@@ -1,0 +1,126 @@
+"""Backend protocol and registry.
+
+A backend executes a batch of independent tasks — one per merge-path
+segment — and reports per-task timing.  Tasks never need to communicate
+(the paper's Remark after Algorithm 1: cores write disjoint addresses),
+so the interface is a bare fork/join: :meth:`Backend.run_tasks` blocks
+until every task finished, which is the barrier at the end of
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import BackendError, InputError
+
+__all__ = ["Backend", "TaskResult", "get_backend", "available_backends", "register_backend"]
+
+
+@dataclass(slots=True)
+class TaskResult:
+    """Outcome of one task executed by a backend.
+
+    ``value`` is whatever the task callable returned; ``elapsed_s`` is
+    the task's own wall-clock duration (used for load-balance
+    diagnostics, not for the Figure 5 speedup numbers, which come from
+    end-to-end timing).
+    """
+
+    index: int
+    value: Any
+    elapsed_s: float
+
+
+class Backend(abc.ABC):
+    """Abstract fork/join executor over independent tasks."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_tasks(
+        self, tasks: Sequence[Callable[[], Any]]
+    ) -> list[TaskResult]:
+        """Execute every task and block until all complete (the barrier).
+
+        Results are returned in task order regardless of completion
+        order.  A task exception aborts the batch and is re-raised
+        wrapped in :class:`~repro.errors.BackendError`.
+        """
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Convenience: apply ``fn`` to each item as a task batch."""
+        results = self.run_tasks([(lambda it=item: fn(it)) for item in items])
+        return [r.value for r in results]
+
+    @staticmethod
+    def _timed(index: int, task: Callable[[], Any]) -> TaskResult:
+        t0 = time.perf_counter()
+        try:
+            value = task()
+        except Exception as exc:  # noqa: BLE001 - uniformly wrapped
+            raise BackendError(f"task {index} failed: {exc!r}") from exc
+        return TaskResult(index=index, value=value, elapsed_s=time.perf_counter() - t0)
+
+    def close(self) -> None:
+        """Release pooled resources; default is a no-op."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under ``name`` (idempotent overwrite)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    _ensure_builtin()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **kwargs: Any) -> Backend:
+    """Instantiate a backend by registry name.
+
+    ``kwargs`` are forwarded to the backend constructor (e.g.
+    ``max_workers``).
+    """
+    _ensure_builtin()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InputError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _ensure_builtin() -> None:
+    """Populate the registry lazily to avoid import cycles."""
+    if _REGISTRY:
+        return
+    from .serial import SerialBackend
+    from .simulated import SimulatedBackend
+    from .threads import ThreadBackend
+    from .processes import ProcessBackend
+
+    from .mpi import MPIBackend
+
+    register_backend("serial", SerialBackend)
+    register_backend("threads", ThreadBackend)
+    register_backend("processes", ProcessBackend)
+    register_backend("simulated", SimulatedBackend)
+    # constructing the MPI backend without mpi4py raises BackendError
+    # with installation guidance; registration itself is always safe.
+    register_backend("mpi", MPIBackend)

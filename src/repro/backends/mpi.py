@@ -1,0 +1,126 @@
+"""Optional MPI backend (mpi4py) for distributed-memory hosts.
+
+Merge Path's partition needs no communication beyond the read-only
+inputs, which makes it a natural fit for MPI's owner-computes style:
+rank 0 broadcasts the arrays (numpy buffers, the fast upper-case mpi4py
+path), every rank merges its own merge-path segment locally, and rank 0
+gathers the disjoint slices with ``Gatherv`` — a faithful
+distributed-memory realization of Algorithm 1.
+
+mpi4py is *not* a dependency of this package (the reference environment
+is offline); everything here degrades gracefully:
+
+* :func:`mpi_available` reports whether mpi4py can be imported;
+* :class:`MPIBackend` raises a clear :class:`~repro.errors.BackendError`
+  at construction when it cannot.
+
+Run under MPI as::
+
+    mpiexec -n 4 python -m mpi4py your_script.py
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import BackendError
+from ..types import Partition
+from .base import Backend, TaskResult
+
+__all__ = ["mpi_available", "MPIBackend", "mpi_merge_partition"]
+
+
+def mpi_available() -> bool:
+    """True when mpi4py is importable in this interpreter."""
+    try:
+        import mpi4py  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI
+    except ImportError as exc:  # pragma: no cover - exercised via backend
+        raise BackendError(
+            "the MPI backend requires mpi4py, which is not installed; "
+            "install mpi4py and run under mpiexec, or use the "
+            "'threads'/'processes' backends"
+        ) from exc
+    return MPI
+
+
+class MPIBackend(Backend):
+    """Fork/join over MPI ranks (rank 0 coordinates).
+
+    :meth:`run_tasks` scatters task indices round-robin over ranks;
+    tasks must be importable callables on every rank.  For merging, the
+    zero-copy collective path :func:`mpi_merge_partition` is preferred.
+    """
+
+    name = "mpi"
+
+    def __init__(self) -> None:
+        self._mpi = _require_mpi()
+        self.comm = self._mpi.COMM_WORLD
+
+    @property
+    def rank(self) -> int:
+        return self.comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self.comm.Get_size()
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        # Every rank executes its round-robin share; rank 0 gathers.
+        mine = [
+            (i, task) for i, task in enumerate(tasks) if i % self.size == self.rank
+        ]
+        local = [self._timed(i, task) for i, task in mine]
+        gathered = self.comm.gather(local, root=0)
+        if self.rank != 0:
+            return []
+        flat = [r for chunk in gathered for r in chunk]
+        flat.sort(key=lambda r: r.index)
+        return flat
+
+
+def mpi_merge_partition(
+    a: np.ndarray, b: np.ndarray, partition: Partition
+) -> np.ndarray | None:
+    """Collective Algorithm 1 over MPI ranks.
+
+    Call on every rank with identical ``partition`` (it is cheap to
+    recompute, or broadcast it).  Rank ``r`` merges segment ``r`` (ranks
+    beyond the segment count idle).  Returns the merged array on rank 0
+    and ``None`` elsewhere.
+    """
+    MPI = _require_mpi()
+    from ..core.sequential import merge_vectorized, result_dtype
+
+    comm = MPI.COMM_WORLD
+    rank = comm.Get_rank()
+    dtype = result_dtype(a, b)
+
+    if rank < len(partition.segments):
+        seg = partition.segments[rank]
+        local = merge_vectorized(
+            a[seg.a_start : seg.a_end], b[seg.b_start : seg.b_end], check=False
+        ).astype(dtype, copy=False)
+    else:
+        local = np.empty(0, dtype=dtype)
+
+    counts = comm.gather(len(local), root=0)
+    if rank == 0:
+        out = np.empty(partition.total_length, dtype=dtype)
+        displs = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=displs[1:])
+        comm.Gatherv(local, [out, counts, displs, MPI._typedict[dtype.char]],
+                     root=0)
+        return out
+    comm.Gatherv(local, None, root=0)
+    return None

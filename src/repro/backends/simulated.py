@@ -1,0 +1,68 @@
+"""Simulated-parallel backend: serial execution, PRAM accounting.
+
+Runs tasks one at a time (so it works on any host, including the
+single-core CI container this reproduction was built in) but records
+per-task wall-clock and, when tasks report operation counts, exposes
+PRAM-style aggregates:
+
+* ``time`` = max over tasks (what p truly-parallel processors would take),
+* ``work`` = sum over tasks (total operations, must stay ~O(N)).
+
+The Figure 5 experiment pairs this backend with the machine timing model
+in :mod:`repro.machine.timing` to regenerate the paper's speedup curves
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .base import Backend, TaskResult
+from .serial import SerialBackend
+
+__all__ = ["SimulatedBackend", "SimulatedBatch"]
+
+
+@dataclass(slots=True)
+class SimulatedBatch:
+    """PRAM accounting for the most recent batch."""
+
+    task_times_s: list[float]
+
+    @property
+    def parallel_time_s(self) -> float:
+        """Modeled elapsed time: slowest task (processors run concurrently)."""
+        return max(self.task_times_s, default=0.0)
+
+    @property
+    def total_work_s(self) -> float:
+        """Total busy time across all modeled processors."""
+        return sum(self.task_times_s)
+
+    @property
+    def modeled_speedup(self) -> float:
+        """work / time — the speedup p ideal processors would achieve."""
+        t = self.parallel_time_s
+        return self.total_work_s / t if t > 0 else 1.0
+
+
+class SimulatedBackend(Backend):
+    """Serial execution with fork/join (PRAM) accounting.
+
+    After each :meth:`run_tasks` call, :attr:`last_batch` holds the
+    modeled parallel time and total work for that batch.
+    """
+
+    name = "simulated"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # max_workers accepted for interface symmetry; the simulation
+        # derives parallelism from the number of tasks submitted.
+        self._inner = SerialBackend()
+        self.last_batch: SimulatedBatch | None = None
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        results = self._inner.run_tasks(tasks)
+        self.last_batch = SimulatedBatch([r.elapsed_s for r in results])
+        return results

@@ -1,0 +1,48 @@
+"""Baseline and related-work algorithms (Section V comparisons).
+
+* :mod:`repro.baselines.naive_split` — the incorrect equal-split
+  strategy the paper's introduction dismisses, kept as an executable
+  counterexample.
+* :mod:`repro.baselines.shiloach_vishkin` — the [6]-style partition
+  whose worst-case segment is ``2N/p`` (the 2× latency hit quantified
+  by the LB experiment).
+* :mod:`repro.baselines.akl_santoro` — [5]: recursive median
+  bisection, ``O(N/p + log N · log p)``, conflict-free.
+* :mod:`repro.baselines.deo_sarkar` — [2]: direct multiselection of
+  equispaced output ranks; partition-equivalent to Merge Path.
+* :mod:`repro.baselines.bitonic` — Batcher's bitonic sorting network
+  [4], the merging-free sorter of the related-work discussion.
+* :mod:`repro.baselines.heap_kway` — binary-heap k-way merge, the
+  classic sequential alternative the k-way extension is measured
+  against.
+"""
+
+from .naive_split import naive_split_partition, naive_split_merge
+from .shiloach_vishkin import sv_partition, sv_merge
+from .akl_santoro import akl_santoro_partition, akl_santoro_merge
+from .deo_sarkar import deo_sarkar_partition, deo_sarkar_merge
+from .bitonic import (
+    bitonic_sort,
+    bitonic_merge_network,
+    comparator_count,
+    odd_even_merge,
+    odd_even_merge_network,
+)
+from .heap_kway import heap_kway_merge
+
+__all__ = [
+    "naive_split_partition",
+    "naive_split_merge",
+    "sv_partition",
+    "sv_merge",
+    "akl_santoro_partition",
+    "akl_santoro_merge",
+    "deo_sarkar_partition",
+    "deo_sarkar_merge",
+    "bitonic_sort",
+    "bitonic_merge_network",
+    "comparator_count",
+    "odd_even_merge",
+    "odd_even_merge_network",
+    "heap_kway_merge",
+]

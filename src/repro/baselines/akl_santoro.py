@@ -1,0 +1,125 @@
+"""Akl–Santoro merge partitioning ([5], Section V).
+
+Optimal Parallel Merging and Sorting Without Memory Conflicts (1987):
+find the pair ``(A[i], B[j])`` straddling the *median* of the output,
+split both arrays there, and recurse on the two halves until there are
+``p`` partitions — ``O(log p)`` sequential *rounds* of ``O(log N)``
+median searches, versus Merge Path's single round of ``p - 1``
+independent searches.  The resulting cut points are identical to Merge
+Path's (both cut the output at equispaced ranks with the same A-first
+tie rule); what differs is the dependency structure, which is what the
+LB experiment reports (``rounds`` column).
+
+The EREW property (processors touch disjoint addresses after
+partitioning) comes for free: the segments are element-wise disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.selection import kth_of_union
+from ..core.sequential import merge_vectorized, result_dtype
+from ..types import Partition, PathPoint, Segment
+from ..validation import as_array, check_mergeable, check_positive
+
+__all__ = ["akl_santoro_partition", "akl_santoro_merge", "PartitionTrace"]
+
+
+@dataclass(slots=True)
+class PartitionTrace:
+    """Cost accounting of the recursive bisection."""
+
+    rounds: int = 0
+    median_searches: int = 0
+
+
+def akl_santoro_partition(
+    a: np.ndarray, b: np.ndarray, p: int, *, trace: PartitionTrace | None = None
+) -> Partition:
+    """Recursively bisect the output rank space into ``p`` segments.
+
+    Each recursion level halves the number of pending cut groups, so
+    the level count (``trace.rounds``) is ``ceil(log2 p)``; every median
+    search within a level could run concurrently on a real machine, but
+    levels are inherently sequential — the structural disadvantage
+    versus Merge Path.
+    """
+    check_positive(p, "p")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    n = len(a) + len(b)
+    # Desired interior output ranks, identical to Merge Path's cuts.
+    ranks = [(k * n) // p for k in range(1, p)]
+    cuts: dict[int, PathPoint] = {0: PathPoint(0, 0), n: PathPoint(len(a), len(b))}
+
+    # Recursive bisection over (rank interval, enclosing split points).
+    pending = [(ranks, 0, n)] if ranks else []
+    rounds = 0
+    while pending:
+        rounds += 1
+        next_pending = []
+        for group, lo_rank, hi_rank in pending:
+            if not group:
+                continue
+            mid_idx = len(group) // 2
+            r = group[mid_idx]
+            lo_pt, hi_pt = cuts[lo_rank], cuts[hi_rank]
+            sub_a = a[lo_pt.i : hi_pt.i]
+            sub_b = b[lo_pt.j : hi_pt.j]
+            if r == lo_rank:
+                point = lo_pt
+            elif r == hi_rank:
+                point = hi_pt
+            else:
+                _, local = kth_of_union(sub_a, sub_b, r - lo_rank)
+                point = PathPoint(lo_pt.i + local.i, lo_pt.j + local.j)
+                if trace is not None:
+                    trace.median_searches += 1
+            cuts[r] = point
+            left = group[:mid_idx]
+            right = group[mid_idx + 1 :]
+            if left:
+                next_pending.append((left, lo_rank, r))
+            if right:
+                next_pending.append((right, r, hi_rank))
+        pending = next_pending
+    if trace is not None:
+        trace.rounds = rounds
+
+    boundary_ranks = sorted(set([0, *ranks, n]))
+    points = [cuts[r] for r in boundary_ranks]
+    segs = []
+    for k, (s, e) in enumerate(zip(points, points[1:])):
+        segs.append(
+            Segment(
+                index=k,
+                a_start=s.i, a_end=e.i,
+                b_start=s.j, b_end=e.j,
+                out_start=s.diagonal, out_end=e.diagonal,
+            )
+        )
+    # Re-pad to exactly p segments when duplicate ranks collapsed (p > n).
+    while len(segs) < p:
+        last = segs[-1]
+        segs.append(
+            Segment(len(segs), last.a_end, last.a_end, last.b_end, last.b_end,
+                    last.out_end, last.out_end)
+        )
+    return Partition(len(a), len(b), tuple(segs))
+
+
+def akl_santoro_merge(a, b, p: int) -> np.ndarray:
+    """Merge via the Akl–Santoro partition (balanced, EREW-friendly)."""
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    part = akl_santoro_partition(a, b, p)
+    out = np.empty(len(a) + len(b), dtype=result_dtype(a, b))
+    for seg in part.segments:
+        out[seg.out_start : seg.out_end] = merge_vectorized(
+            a[seg.a_start : seg.a_end], b[seg.b_start : seg.b_end], check=False
+        )
+    return out

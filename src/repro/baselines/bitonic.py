@@ -1,0 +1,211 @@
+"""Batcher's bitonic sorting network ([4], Section V).
+
+The related-work foil: a sorter that needs *no* merging of sorted
+arrays, at the price of ``O(N log² N)`` comparators versus merge sort's
+``O(N log N)`` comparisons.  Implemented as an explicit network (list of
+compare-exchange wire pairs) so the SORT experiment can count
+comparators and depth exactly, plus a vectorized executor that applies
+each stage with numpy min/max — the natural data-parallel realization.
+
+Only power-of-two sizes form a classical bitonic network; arbitrary
+sizes are handled by padding with a +inf sentinel, the standard trick.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InputError
+from ..validation import as_array
+
+__all__ = [
+    "bitonic_network",
+    "bitonic_merge_network",
+    "bitonic_sort",
+    "comparator_count",
+    "network_depth",
+    "odd_even_merge_network",
+    "odd_even_merge",
+]
+
+
+def bitonic_network(n: int) -> list[list[tuple[int, int]]]:
+    """Full bitonic sorting network for ``n = 2^k`` wires.
+
+    Returns a list of *stages*; each stage is a list of disjoint
+    ``(i, j)`` comparator pairs (``i < j`` means "ascending
+    compare-exchange: put min at i").  Stages are the network's clock
+    ticks: all comparators within one stage act on disjoint wires and
+    run concurrently, so ``len(stages)`` is the sort's parallel depth —
+    the ``O(log² N)`` cycles of the paper's Section V.
+    """
+    if n < 1 or n & (n - 1):
+        raise InputError(f"bitonic network needs a power-of-two size, got {n}")
+    stages: list[list[tuple[int, int]]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stage = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    if i & k:
+                        stage.append((partner, i))  # descending box
+                    else:
+                        stage.append((i, partner))  # ascending box
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return stages
+
+
+def bitonic_merge_network(n: int) -> list[list[tuple[int, int]]]:
+    """The final merge phase of the bitonic network (a bitonic merger).
+
+    Sorts any *bitonic* sequence of length ``n = 2^k``; ``log2 n``
+    stages of ``n/2`` comparators.
+    """
+    if n < 1 or n & (n - 1):
+        raise InputError(f"bitonic merger needs a power-of-two size, got {n}")
+    stages = []
+    j = n // 2
+    while j >= 1:
+        stage = []
+        for i in range(n):
+            partner = i ^ j
+            if partner > i:
+                stage.append((i, partner))
+        stages.append(stage)
+        j //= 2
+    return stages
+
+
+def comparator_count(stages: list[list[tuple[int, int]]]) -> int:
+    """Total compare-exchange elements in a network."""
+    return sum(len(s) for s in stages)
+
+
+def network_depth(stages: list[list[tuple[int, int]]]) -> int:
+    """Parallel depth (number of stages)."""
+    return len(stages)
+
+
+def bitonic_sort(x) -> np.ndarray:
+    """Sort via the bitonic network, executed stage-by-stage with numpy.
+
+    Non-power-of-two inputs are padded with the dtype's maximum (or
+    ``+inf``) and trimmed afterwards.  Note bitonic sorting is *not*
+    stable; only values are guaranteed.
+    """
+    arr = as_array(x, "x").copy()
+    n = len(arr)
+    if n <= 1:
+        return arr
+    size = 1 << math.ceil(math.log2(n))
+    if size != n:
+        if np.issubdtype(arr.dtype, np.integer):
+            pad_val = np.iinfo(arr.dtype).max
+        elif np.issubdtype(arr.dtype, np.floating):
+            pad_val = np.inf
+        else:
+            raise InputError(
+                f"cannot pad dtype {arr.dtype}; use a power-of-two length"
+            )
+        arr = np.concatenate([arr, np.full(size - n, pad_val, dtype=arr.dtype)])
+    for stage in bitonic_network(size):
+        i_idx = np.fromiter((i for i, _ in stage), dtype=np.intp, count=len(stage))
+        j_idx = np.fromiter((j for _, j in stage), dtype=np.intp, count=len(stage))
+        lo = np.minimum(arr[i_idx], arr[j_idx])
+        hi = np.maximum(arr[i_idx], arr[j_idx])
+        arr[i_idx] = lo
+        arr[j_idx] = hi
+    return arr[:n]
+
+
+def odd_even_merge_network(n: int) -> list[list[tuple[int, int]]]:
+    """Batcher's odd-even *merge* network for two sorted halves.
+
+    Merges ``x[:n/2]`` and ``x[n/2:]`` (each sorted) with
+    ``O(n log n)`` comparators in ``log2 n`` stages — the
+    comparator-network way to merge, against which Merge Path's
+    ``O(n)``-work, O(1)-depth-overhead partitioning is the foil: the
+    network needs no partitioning at all but pays a log factor of extra
+    comparators, the classic circuit-vs-algorithm trade.
+
+    ``n`` must be a power of two.
+    """
+    if n < 2 or n & (n - 1):
+        raise InputError(f"odd-even merger needs a power-of-two size, got {n}")
+
+    stages: list[list[tuple[int, int]]] = []
+
+    def build(lo: int, length: int, stride: int, acc: dict[int, list]) -> None:
+        """Recursive odd-even merge over indices lo, lo+stride, ..."""
+        step = stride * 2
+        if step < length:
+            build(lo, length, step, acc)           # even subsequence
+            build(lo + stride, length, step, acc)  # odd subsequence
+            depth = _merge_depth(length, stride)
+            for i in range(lo + stride, lo + length - stride, step):
+                acc.setdefault(depth, []).append((i, i + stride))
+        else:
+            acc.setdefault(0, []).append((lo, lo + stride))
+
+    acc: dict[int, list] = {}
+    build(0, n, 1, acc)
+    for depth in sorted(acc):
+        stages.append(acc[depth])
+    return stages
+
+
+def _merge_depth(length: int, stride: int) -> int:
+    """Stage index of the comparators with the given stride."""
+    d = 1
+    s = stride
+    while s * 2 < length:
+        s *= 2
+        d += 1
+    return d
+
+
+def odd_even_merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays via the odd-even network (values only).
+
+    Pads to the next power of two with sentinels; not stable.
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    total = len(a) + len(b)
+    if total == 0:
+        return np.array([], dtype=np.promote_types(a.dtype, b.dtype)
+                        if len(a) or len(b) else np.int64)
+    size = 1 << math.ceil(math.log2(max(2, total)))
+    dtype = np.promote_types(a.dtype, b.dtype)
+    if np.issubdtype(dtype, np.integer):
+        pad_val = np.iinfo(dtype).max
+    elif np.issubdtype(dtype, np.floating):
+        pad_val = np.inf
+    else:
+        raise InputError(f"cannot pad dtype {dtype}")
+    # network merges two sorted *halves*: pad each side to size/2
+    half = size // 2
+    if len(a) > half or len(b) > half:
+        # unequal split exceeds a half: fall back to one extra doubling
+        size *= 2
+        half = size // 2
+    arr = np.full(size, pad_val, dtype=dtype)
+    arr[:len(a)] = a
+    arr[half:half + len(b)] = b
+    for stage in odd_even_merge_network(size):
+        i_idx = np.fromiter((i for i, _ in stage), dtype=np.intp,
+                            count=len(stage))
+        j_idx = np.fromiter((j for _, j in stage), dtype=np.intp,
+                            count=len(stage))
+        lo = np.minimum(arr[i_idx], arr[j_idx])
+        hi = np.maximum(arr[i_idx], arr[j_idx])
+        arr[i_idx] = lo
+        arr[j_idx] = hi
+    return arr[:total]

@@ -1,0 +1,72 @@
+"""The naive equal-split parallel merge — an executable counterexample.
+
+The paper's introduction: "A naive approach to parallel merge would
+entail partitioning each of the two arrays into equal-length contiguous
+sub-arrays and assigning a pair of same-numbered sub-arrays to each
+core... Unfortunately, this is incorrect."  This module implements it
+faithfully so tests and examples can *demonstrate* the failure (e.g.
+when every element of A exceeds every element of B) and so the docs can
+show why correct partitioning — the merge path — is the actual problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sequential import merge_vectorized, result_dtype
+from ..types import Partition, Segment
+from ..validation import as_array, check_mergeable, check_positive
+
+__all__ = ["naive_split_partition", "naive_split_merge", "is_sorted"]
+
+
+def naive_split_partition(a_len: int, b_len: int, p: int) -> Partition:
+    """Cut each array independently into ``p`` equal contiguous pieces.
+
+    Segment ``k`` pairs the ``k``-th piece of A with the ``k``-th piece
+    of B.  Note the returned object *fails*
+    :meth:`~repro.types.Partition.validate` in general — the pieces do
+    not correspond to contiguous merge-path ranges — which is exactly
+    the point.
+    """
+    check_positive(p, "p")
+    segs = []
+    out = 0
+    for k in range(p):
+        a0, a1 = (k * a_len) // p, ((k + 1) * a_len) // p
+        b0, b1 = (k * b_len) // p, ((k + 1) * b_len) // p
+        length = (a1 - a0) + (b1 - b0)
+        segs.append(
+            Segment(
+                index=k, a_start=a0, a_end=a1, b_start=b0, b_end=b1,
+                out_start=out, out_end=out + length,
+            )
+        )
+        out += length
+    return Partition(a_len, b_len, tuple(segs))
+
+
+def naive_split_merge(a, b, p: int) -> np.ndarray:
+    """Merge each same-numbered piece pair and concatenate.
+
+    Returns an array that contains all elements of ``A`` and ``B`` but
+    is, in general, **not sorted** — callers should check with
+    :func:`is_sorted`.  (It *is* sorted when the inputs interleave
+    uniformly, which is why the bug is easy to miss on friendly data.)
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    part = naive_split_partition(len(a), len(b), p)
+    out = np.empty(len(a) + len(b), dtype=result_dtype(a, b))
+    for seg in part.segments:
+        out[seg.out_start : seg.out_end] = merge_vectorized(
+            a[seg.a_start : seg.a_end], b[seg.b_start : seg.b_end], check=False
+        )
+    return out
+
+
+def is_sorted(x: np.ndarray) -> bool:
+    """True when ``x`` is non-decreasing."""
+    x = np.asarray(x)
+    return bool(np.all(x[:-1] <= x[1:])) if len(x) > 1 else True

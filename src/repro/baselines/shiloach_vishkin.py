@@ -1,0 +1,78 @@
+"""Shiloach–Vishkin-style partitioned merge ([6], Section V).
+
+The 1981 scheme partitions by *input position* rather than output
+position: each of the ``p`` processors takes the ``k``-th equal slice of
+``A`` and pairs it with the B-range bracketed by its slice's boundary
+values (found by binary search / rank).  Every element lands in exactly
+one segment and concatenating the merged segments is sorted — but the
+segment *sizes* are data dependent: a processor is responsible for
+``|A|/p`` A-elements plus however many B-elements fall between its
+boundaries, which can be anywhere from 0 to all of B.  The paper's
+Section V: a processor "may be assigned as many as 2N/p elements...
+such a load imbalance can cause a 2X increase in latency", and with the
+adversarial inputs in :mod:`repro.workloads.adversarial` the LB
+experiment drives it to the full ``|A|/p + |B|`` extreme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sequential import merge_vectorized, result_dtype
+from ..types import Partition, Segment
+from ..validation import as_array, check_mergeable, check_positive
+
+__all__ = ["sv_partition", "sv_merge"]
+
+
+def sv_partition(a: np.ndarray, b: np.ndarray, p: int) -> Partition:
+    """Partition by equal A-slices with rank-matched B-ranges.
+
+    B is cut at the ranks of the A slice boundaries
+    (``searchsorted(b, a[cut], side='left')``, consistent with the
+    A-before-B tie rule), so the concatenation of segment merges is the
+    correct stable merge — only the balance differs from Merge Path.
+    """
+    check_positive(p, "p")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    a_cuts = [(k * len(a)) // p for k in range(p + 1)]
+    b_cuts = [0]
+    for k in range(1, p):
+        idx = a_cuts[k]
+        if idx >= len(a):
+            b_cuts.append(len(b))
+        else:
+            # All B elements strictly below A[idx] go to earlier
+            # segments; ties go after the A element (A-first rule).
+            b_cuts.append(int(np.searchsorted(b, a[idx], side="left")))
+    b_cuts.append(len(b))
+    # Guard monotonicity (searchsorted on sorted boundaries already is).
+    segs = []
+    out = 0
+    for k in range(p):
+        length = (a_cuts[k + 1] - a_cuts[k]) + (b_cuts[k + 1] - b_cuts[k])
+        segs.append(
+            Segment(
+                index=k,
+                a_start=a_cuts[k], a_end=a_cuts[k + 1],
+                b_start=b_cuts[k], b_end=b_cuts[k + 1],
+                out_start=out, out_end=out + length,
+            )
+        )
+        out += length
+    return Partition(len(a), len(b), tuple(segs))
+
+
+def sv_merge(a, b, p: int) -> np.ndarray:
+    """Merge via the SV-style partition (correct but imbalanced)."""
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    part = sv_partition(a, b, p)
+    out = np.empty(len(a) + len(b), dtype=result_dtype(a, b))
+    for seg in part.segments:
+        out[seg.out_start : seg.out_end] = merge_vectorized(
+            a[seg.a_start : seg.a_end], b[seg.b_start : seg.b_end], check=False
+        )
+    return out

@@ -1,0 +1,51 @@
+"""Cache simulator substrate (Section IV experiments).
+
+The paper's cache-efficiency claims (Algorithm 2 keeps the working set
+resident; 3-way associativity suffices; basic parallel merge thrashes a
+shared cache once arrays outgrow it) were evaluated by the authors only
+on an incomplete Hypercore prototype — so this reproduction, like the
+paper itself, substitutes a simulator:
+
+* :mod:`repro.cache.set_assoc` — a set-associative cache with LRU (or
+  FIFO) replacement and full hit/miss/eviction statistics.
+* :mod:`repro.cache.hierarchy` — multi-level private/shared hierarchies
+  (per-core L1/L2, per-socket shared L3) with an invalidation-based
+  coherence cost model.
+* :mod:`repro.cache.trace` — memory-access traces: each algorithm
+  variant emits a per-core stream of (array, index, read/write) events
+  at element granularity which the hierarchy replays.
+* :mod:`repro.cache.traced_merge` — trace emitters for the sequential
+  merge, Algorithm 1 and Algorithm 2, sharing the partition logic with
+  the production kernels.
+* :mod:`repro.cache.stats` — aggregated counters.
+"""
+
+from .set_assoc import SetAssociativeCache, ReplacementPolicy
+from .hierarchy import CacheHierarchy, CoreCaches, build_hierarchy
+from .trace import Access, AddressMap, TraceBuilder, interleave_round_robin
+from .stats import CacheStats, HierarchyStats
+from .prefetch import PrefetchStats, SequentialPrefetcher
+from .traced_merge import (
+    trace_sequential_merge,
+    trace_parallel_merge,
+    trace_segmented_merge,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "ReplacementPolicy",
+    "CacheHierarchy",
+    "CoreCaches",
+    "build_hierarchy",
+    "Access",
+    "AddressMap",
+    "TraceBuilder",
+    "interleave_round_robin",
+    "CacheStats",
+    "HierarchyStats",
+    "PrefetchStats",
+    "SequentialPrefetcher",
+    "trace_sequential_merge",
+    "trace_parallel_merge",
+    "trace_segmented_merge",
+]

@@ -1,0 +1,166 @@
+"""Multi-level private/shared cache hierarchy with coherence costs.
+
+Models the paper's evaluation machine shape: per-core private L1 and
+L2, per-socket shared L3, DRAM behind everything.  Replays an
+interleaved element-granularity trace:
+
+* An access looks up the issuing core's L1, then L2, then its socket's
+  L3; the first hit serves it, deeper levels fill on the way back (all
+  levels are allocate-on-miss, write-back).
+* **Coherence** is a simplified invalidation protocol at line
+  granularity: a *write* by core ``c`` invalidates the line in every
+  other core's private caches (and counts one invalidation event per
+  sharer); a *read* of a line another core holds *dirty* forces that
+  core's copy clean (one invalidation event) before the fill.  This
+  captures the two expensive events on the real machine — RFO
+  invalidations and dirty-line interventions — without modeling MESI
+  state machines in full.
+
+The one-socket, shared-single-cache configuration (``l1 == l2 == l3``
+shared by all cores) models the Hypercore-like machine of Section VI;
+:func:`build_hierarchy` builds either shape from a
+:class:`~repro.machine.specs.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import InputError
+from ..machine.specs import MachineSpec
+from ..validation import check_positive
+from .set_assoc import ReplacementPolicy, SetAssociativeCache
+from .stats import HierarchyStats
+from .trace import Access, AddressMap
+
+__all__ = ["CoreCaches", "CacheHierarchy", "build_hierarchy"]
+
+
+@dataclass(slots=True)
+class CoreCaches:
+    """The private caches of one core."""
+
+    l1: SetAssociativeCache
+    l2: SetAssociativeCache
+
+
+class CacheHierarchy:
+    """p cores with private L1/L2 over per-socket shared L3s.
+
+    Parameters
+    ----------
+    cores:
+        Private cache pairs, one per core.
+    l3s:
+        Shared caches, one per socket.
+    cores_per_socket:
+        Socket assignment: core ``c`` uses ``l3s[c // cores_per_socket]``.
+    """
+
+    def __init__(
+        self,
+        cores: list[CoreCaches],
+        l3s: list[SetAssociativeCache],
+        cores_per_socket: int,
+    ) -> None:
+        if not cores or not l3s:
+            raise InputError("need at least one core and one L3")
+        check_positive(cores_per_socket, "cores_per_socket")
+        if (len(cores) + cores_per_socket - 1) // cores_per_socket > len(l3s):
+            raise InputError("not enough L3s for the core count")
+        self.cores = cores
+        self.l3s = l3s
+        self.cores_per_socket = cores_per_socket
+        self.stats = HierarchyStats()
+
+    def _socket(self, core: int) -> SetAssociativeCache:
+        return self.l3s[core // self.cores_per_socket]
+
+    def access(self, core: int, address: int, write: bool) -> None:
+        """Replay one byte-address access by ``core``."""
+        if not 0 <= core < len(self.cores):
+            raise InputError(f"core {core} out of range")
+        cc = self.cores[core]
+
+        # Coherence first: writes invalidate all other private copies;
+        # reads only need exclusive service if another core dirtied it
+        # (approximated: any private copy elsewhere counts on writes).
+        if write:
+            for other, oc in enumerate(self.cores):
+                if other == core:
+                    continue
+                inv = oc.l1.invalidate(address)
+                inv |= oc.l2.invalidate(address)
+                if inv:
+                    self.stats.coherence_invalidations += 1
+
+        hit1, _ = cc.l1.access(address, write)
+        if hit1:
+            return
+        hit2, _ = cc.l2.access(address, write)
+        if hit2:
+            return
+        l3 = self._socket(core)
+        hit3, _ = l3.access(address, write)
+        if not hit3:
+            self.stats.dram_accesses += 1
+
+    def replay(self, accesses: Iterable[Access], amap: AddressMap) -> HierarchyStats:
+        """Replay a full interleaved trace; returns the final stats."""
+        for acc in accesses:
+            self.access(acc.core, amap.byte_address(acc.array, acc.index), acc.write)
+        return self.collect_stats()
+
+    def collect_stats(self) -> HierarchyStats:
+        """Aggregate per-cache counters into the hierarchy totals."""
+        agg = HierarchyStats(
+            dram_accesses=self.stats.dram_accesses,
+            coherence_invalidations=self.stats.coherence_invalidations,
+        )
+        for cc in self.cores:
+            agg.l1.add(cc.l1.stats)
+            agg.l2.add(cc.l2.stats)
+        for l3 in self.l3s:
+            agg.l3.add(l3.stats)
+        self.stats = agg
+        return agg
+
+
+
+def build_hierarchy(
+    spec: MachineSpec,
+    p: int,
+    *,
+    l1_assoc: int = 8,
+    l2_assoc: int = 8,
+    l3_assoc: int = 16,
+    policy: ReplacementPolicy = ReplacementPolicy.LRU,
+) -> CacheHierarchy:
+    """Build a hierarchy for ``p`` active cores of ``spec``.
+
+    Cores are packed socket-first (cores 0..5 on socket 0 for the
+    T610), matching how OpenMP pins threads with compact affinity.
+    """
+    check_positive(p, "p")
+    if p > spec.total_cores:
+        raise InputError(f"p={p} exceeds {spec.name!r} cores {spec.total_cores}")
+    cores = [
+        CoreCaches(
+            l1=SetAssociativeCache(
+                spec.l1d_bytes, spec.line_bytes, l1_assoc, policy, f"L1.c{c}"
+            ),
+            l2=SetAssociativeCache(
+                spec.l2_bytes, spec.line_bytes, l2_assoc, policy, f"L2.c{c}"
+            ),
+        )
+        for c in range(p)
+    ]
+    sockets = (p + spec.cores_per_socket - 1) // spec.cores_per_socket
+    l3s = [
+        SetAssociativeCache(
+            spec.l3_bytes, spec.line_bytes, l3_assoc, policy, f"L3.s{s}"
+        )
+        for s in range(max(1, sockets))
+    ]
+    return CacheHierarchy(cores, l3s, spec.cores_per_socket)

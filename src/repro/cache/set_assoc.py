@@ -1,0 +1,145 @@
+"""Set-associative cache model with LRU / FIFO replacement.
+
+Addresses are byte addresses; a cache of ``size_bytes`` capacity,
+``line_bytes`` lines and ``assoc`` ways has ``size_bytes / line_bytes /
+assoc`` sets, indexed by the low line-address bits — the standard
+indexing the paper's 3-way-associativity remark presumes.  The model is
+write-back / write-allocate and tracks per-line dirty state so
+writebacks and coherence invalidations are priced correctly.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+
+from ..errors import InputError
+from ..validation import check_positive
+from .stats import CacheStats
+
+__all__ = ["ReplacementPolicy", "SetAssociativeCache"]
+
+
+class ReplacementPolicy(enum.Enum):
+    """Victim selection within a set."""
+
+    LRU = "LRU"
+    FIFO = "FIFO"
+
+
+class SetAssociativeCache:
+    """One cache: an array of sets, each an ordered map of line tags.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be a multiple of ``line_bytes * assoc``.
+    line_bytes:
+        Line size (power of two).
+    assoc:
+        Ways per set.  ``assoc == size_bytes // line_bytes`` makes the
+        cache fully associative.
+    policy:
+        Replacement policy (LRU default).
+    name:
+        Label used in stats reporting.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        assoc: int,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        name: str = "cache",
+    ) -> None:
+        check_positive(size_bytes, "size_bytes")
+        check_positive(line_bytes, "line_bytes")
+        check_positive(assoc, "assoc")
+        if line_bytes & (line_bytes - 1):
+            raise InputError(f"line_bytes must be a power of two, got {line_bytes}")
+        lines = size_bytes // line_bytes
+        if lines * line_bytes != size_bytes:
+            raise InputError("size_bytes must be a multiple of line_bytes")
+        if lines < assoc:
+            raise InputError(
+                f"capacity of {lines} lines cannot hold one {assoc}-way set"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        # Odd associativities (the paper's 3-way remark) rarely divide the
+        # line count evenly; floor the set count, so effective capacity is
+        # num_sets * assoc lines (<= size_bytes, as on real odd-way caches).
+        self.num_sets = lines // assoc
+        self.size_bytes = self.num_sets * assoc * line_bytes
+        self.policy = policy
+        self.stats = CacheStats()
+        # set index -> OrderedDict {tag: dirty}; order == recency (LRU)
+        # or insertion (FIFO), oldest first.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_addr = address // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence probe (no stats impact)."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def access(self, address: int, write: bool = False) -> tuple[bool, int | None]:
+        """Look up one byte address; fill on miss.
+
+        Returns ``(hit, evicted_line_addr)`` where ``evicted_line_addr``
+        is the line address of a victim evicted to make room (None when
+        no eviction happened).  A dirty victim additionally bumps the
+        writeback counter.
+        """
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        evicted: int | None = None
+        if tag in ways:
+            hit = True
+            self.stats.hits += 1
+            if self.policy is ReplacementPolicy.LRU:
+                ways.move_to_end(tag)
+            if write:
+                ways[tag] = True
+        else:
+            hit = False
+            self.stats.misses += 1
+            if len(ways) >= self.assoc:
+                victim_tag, dirty = ways.popitem(last=False)
+                self.stats.evictions += 1
+                if dirty:
+                    self.stats.writebacks += 1
+                evicted = victim_tag * self.num_sets + set_idx
+            ways[tag] = write
+        return hit, evicted
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address`` (coherence); True if present."""
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            del ways[tag]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines written back."""
+        dirty = 0
+        for ways in self._sets:
+            dirty += sum(1 for d in ways.values() if d)
+            ways.clear()
+        self.stats.writebacks += dirty
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        """Lines currently cached."""
+        return sum(len(ways) for ways in self._sets)

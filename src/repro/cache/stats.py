@@ -1,0 +1,74 @@
+"""Counters for cache simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "HierarchyStats"]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/eviction counts for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """misses / accesses (0.0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / accesses (0.0 when never accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another cache's counters."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+
+
+@dataclass(slots=True)
+class HierarchyStats:
+    """Aggregated hierarchy counters for one simulated run.
+
+    ``dram_accesses`` counts line fills that had to come from memory —
+    the paper's figure of merit for Section IV (every DRAM touch is the
+    "ten-fold higher access latency" event SPM exists to avoid).
+    ``coherence_invalidations`` counts cross-core invalidations of
+    dirty/shared lines, the "extremely high overhead" coherence events.
+    """
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    l3: CacheStats = field(default_factory=CacheStats)
+    dram_accesses: int = 0
+    coherence_invalidations: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """Element accesses issued to the hierarchy (== L1 lookups)."""
+        return self.l1.accesses
+
+    def miss_per_kilo_access(self, level: str = "dram") -> float:
+        """Misses (or DRAM fills) per 1000 element accesses."""
+        if not self.total_accesses:
+            return 0.0
+        count = {
+            "l1": self.l1.misses,
+            "l2": self.l2.misses,
+            "l3": self.l3.misses,
+            "dram": self.dram_accesses,
+        }[level]
+        return 1000.0 * count / self.total_accesses

@@ -1,0 +1,125 @@
+"""Memory-access traces and address mapping.
+
+Algorithms emit traces in *element* coordinates — ``(core, array name,
+element index, is_write)`` — which :class:`AddressMap` converts to byte
+addresses by laying the named arrays out contiguously (4 KB aligned,
+like separate allocations).  Per-core streams are interleaved
+round-robin by :func:`interleave_round_robin` to model p cores
+progressing at the same rate, which is exactly the lockstep abstraction
+the paper's load-balance result justifies (Corollary 7: every core does
+identical work per step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import InputError
+from ..validation import check_positive
+
+__all__ = ["Access", "AddressMap", "TraceBuilder", "interleave_round_robin"]
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One element-granularity memory access by one core."""
+
+    core: int
+    array: str
+    index: int
+    write: bool = False
+
+
+class AddressMap:
+    """Lays named arrays out in a flat byte address space.
+
+    Parameters
+    ----------
+    arrays:
+        ``name -> element count`` in layout order.
+    element_bytes:
+        Bytes per element (4 for the paper's int32 workloads).
+    alignment:
+        Base alignment per array (default 4096, one page).
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, int],
+        element_bytes: int = 4,
+        alignment: int = 4096,
+    ) -> None:
+        check_positive(element_bytes, "element_bytes")
+        check_positive(alignment, "alignment")
+        self.element_bytes = element_bytes
+        self._base: dict[str, int] = {}
+        self._len: dict[str, int] = {}
+        cursor = 0
+        for name, count in arrays.items():
+            if count < 0:
+                raise InputError(f"array {name!r} has negative length")
+            self._base[name] = cursor
+            self._len[name] = count
+            cursor += count * element_bytes
+            cursor = (cursor + alignment - 1) // alignment * alignment
+
+    def byte_address(self, array: str, index: int) -> int:
+        """Byte address of ``array[index]``."""
+        try:
+            base = self._base[array]
+        except KeyError:
+            raise InputError(f"unmapped array {array!r}") from None
+        if not 0 <= index < self._len[array]:
+            raise InputError(
+                f"{array}[{index}] out of bounds (len {self._len[array]})"
+            )
+        return base + index * self.element_bytes
+
+    def footprint_bytes(self) -> int:
+        """Total mapped bytes (upper edge of the last array)."""
+        return max(
+            (self._base[n] + self._len[n] * self.element_bytes for n in self._base),
+            default=0,
+        )
+
+
+class TraceBuilder:
+    """Collects per-core access lists with a tiny emitting API."""
+
+    def __init__(self, cores: int) -> None:
+        check_positive(cores, "cores")
+        self.cores = cores
+        self.streams: list[list[Access]] = [[] for _ in range(cores)]
+
+    def read(self, core: int, array: str, index: int) -> None:
+        """Record a read of ``array[index]`` by ``core``."""
+        self.streams[core].append(Access(core, array, index, write=False))
+
+    def write(self, core: int, array: str, index: int) -> None:
+        """Record a write of ``array[index]`` by ``core``."""
+        self.streams[core].append(Access(core, array, index, write=True))
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(s) for s in self.streams)
+
+
+def interleave_round_robin(streams: Sequence[Sequence[Access]]) -> Iterator[Access]:
+    """Merge per-core streams one access per core per round.
+
+    Cores with exhausted streams drop out; order within a round is core
+    id, which is deterministic and unbiased for the aggregate counters
+    the experiments report.
+    """
+    iters = [iter(s) for s in streams]
+    live = list(range(len(iters)))
+    while live:
+        next_live = []
+        for c in live:
+            try:
+                yield next(iters[c])
+                next_live.append(c)
+            except StopIteration:
+                pass
+        live = next_live

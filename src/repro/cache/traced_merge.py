@@ -1,0 +1,161 @@
+"""Trace emitters: the merge algorithms as memory-access streams.
+
+Each function reuses the *production* partition logic from
+:mod:`repro.core.merge_path` / :mod:`repro.core.segmented_merge` (so the
+traced access pattern is the real one), but instead of moving data it
+records the element accesses a straightforward two-pointer
+implementation performs:
+
+* sequential merge: read A[i], read B[j] alternately, write S[k];
+* Algorithm 1: p concurrent per-segment merges, interleaved round-robin
+  — each core streams through its own distant regions of A, B and S
+  simultaneously, which is what floods a small shared cache;
+* Algorithm 2 (SPM): the same, but block by block, so at any instant
+  only ~L elements of each array are live.
+
+Binary-search probe accesses are included (they are the paper's
+concurrent-read events) ahead of each core's merge stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.merge_path import diagonal_bounds, partition_merge_path
+from ..core.segmented_merge import plan_segments
+from ..types import Partition, Segment
+from ..validation import as_array, check_mergeable, check_positive
+from .trace import Access, TraceBuilder, interleave_round_robin
+
+__all__ = [
+    "trace_sequential_merge",
+    "trace_parallel_merge",
+    "trace_segmented_merge",
+]
+
+
+def _emit_search(
+    tb: TraceBuilder, core: int, a: np.ndarray, b: np.ndarray, d: int
+) -> None:
+    """Record the probe reads of one diagonal binary search."""
+    lo, hi = diagonal_bounds(d, len(a), len(b))
+    while lo < hi:
+        mid = (lo + hi) // 2
+        tb.read(core, "A", mid)
+        tb.read(core, "B", d - 1 - mid)
+        if a[mid] <= b[d - 1 - mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+
+
+def _emit_segment_merge(
+    tb: TraceBuilder,
+    core: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    seg: Segment,
+    a_offset: int = 0,
+    b_offset: int = 0,
+    out_offset: int = 0,
+) -> None:
+    """Record a two-pointer merge of one segment.
+
+    ``a``/``b`` are the arrays the segment's coordinates refer to;
+    offsets translate to global trace coordinates (used by SPM, whose
+    sub-segments are window-relative).
+    """
+    i, j = seg.a_start, seg.b_start
+    k = seg.out_start
+    while i < seg.a_end and j < seg.b_end:
+        tb.read(core, "A", a_offset + i)
+        tb.read(core, "B", b_offset + j)
+        if a[i] <= b[j]:
+            i += 1
+        else:
+            j += 1
+        tb.write(core, "S", out_offset + k)
+        k += 1
+    while i < seg.a_end:
+        tb.read(core, "A", a_offset + i)
+        tb.write(core, "S", out_offset + k)
+        i += 1
+        k += 1
+    while j < seg.b_end:
+        tb.read(core, "B", b_offset + j)
+        tb.write(core, "S", out_offset + k)
+        j += 1
+        k += 1
+
+
+def trace_sequential_merge(a, b) -> list[Access]:
+    """Access stream of a single-core sequential merge."""
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    tb = TraceBuilder(1)
+    whole = Segment(0, 0, len(a), 0, len(b), 0, len(a) + len(b))
+    _emit_segment_merge(tb, 0, a, b, whole)
+    return tb.streams[0]
+
+
+def trace_parallel_merge(a, b, p: int) -> list[Access]:
+    """Interleaved access stream of Algorithm 1 on ``p`` cores."""
+    check_positive(p, "p")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    tb = TraceBuilder(p)
+    part: Partition = partition_merge_path(a, b, p, check=False)
+    n = len(a) + len(b)
+    for pid, seg in enumerate(part.segments):
+        d = (pid * n) // p
+        if 0 < d < n:
+            _emit_search(tb, pid, a, b, d)
+        d_end = ((pid + 1) * n) // p
+        if 0 < d_end < n:
+            _emit_search(tb, pid, a, b, d_end)
+        _emit_segment_merge(tb, pid, a, b, seg)
+    return list(interleave_round_robin(tb.streams))
+
+
+def trace_segmented_merge(a, b, p: int, L: int) -> list[Access]:
+    """Interleaved access stream of Algorithm 2 (SPM) on ``p`` cores.
+
+    Blocks are serial (their streams are concatenated); within a block
+    the ``p`` sub-segment streams are interleaved, including the
+    window-confined partition searches.
+    """
+    check_positive(p, "p")
+    check_positive(L, "L")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    out: list[Access] = []
+    for plan in plan_segments(a, b, p, L, check=False):
+        blk = plan.block
+        wa = a[blk.a_start : blk.a_end]
+        wb = b[blk.b_start : blk.b_end]
+        tb = TraceBuilder(p)
+        lb = blk.length
+        for pid, seg in enumerate(plan.partition.segments):
+            d = (pid * lb) // p
+            if 0 < d < lb:
+                # Window-relative search; shift probe indices to global.
+                lo, hi = diagonal_bounds(d, len(wa), len(wb))
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    tb.read(pid, "A", blk.a_start + mid)
+                    tb.read(pid, "B", blk.b_start + d - 1 - mid)
+                    if wa[mid] <= wb[d - 1 - mid]:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+            _emit_segment_merge(
+                tb, pid, wa, wb, seg,
+                a_offset=blk.a_start,
+                b_offset=blk.b_start,
+                out_offset=blk.out_start,
+            )
+        out.extend(interleave_round_robin(tb.streams))
+    return out

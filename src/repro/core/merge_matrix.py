@@ -1,0 +1,168 @@
+"""Explicit Merge Matrix and Merge Path — the Section II reference model.
+
+This module materializes the ``|A| x |B|`` binary merge matrix of
+Definition 1 and walks the merge path exactly as the paper constructs it.
+Both cost O(|A|·|B|) and exist purely as an executable specification:
+the property tests check the production O(log) partitioner against this
+model, and the teaching example renders small matrices.
+
+Path representation
+-------------------
+A merge path over ``A`` (length ``m``) and ``B`` (length ``n``) is the
+sequence of :class:`~repro.types.PathPoint` values ``(i, j)`` visited,
+starting at ``(0, 0)`` and ending at ``(m, n)``, of length ``m + n + 1``.
+A *down* move increments ``i`` (consumes ``A[i]``); a *right* move
+increments ``j`` (consumes ``B[j]``).  Per the paper's construction, at
+point ``(i, j)`` the path moves **right** iff ``A[i] > B[j]``, i.e. ties
+consume ``A`` first — this makes every kernel in the package a *stable*
+merge with A-elements preceding equal B-elements.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import PathPoint
+from ..validation import as_array, check_mergeable
+
+__all__ = ["MergeMatrix", "build_merge_path", "path_to_merged", "path_moves"]
+
+
+class MergeMatrix:
+    """Materialized binary merge matrix ``M[i, j] = A[i] > B[j]``.
+
+    Row index ``i`` ranges over elements of ``A``, column index ``j``
+    over elements of ``B`` (both 0-based), matching Definition 1 of the
+    paper up to the 1-based/0-based shift.
+
+    Parameters
+    ----------
+    a, b:
+        Sorted input arrays.  Sortedness is validated because every
+        structural property below (Propositions 10/11, Corollary 12)
+        depends on it.
+    """
+
+    def __init__(self, a: Sequence | np.ndarray, b: Sequence | np.ndarray) -> None:
+        self.a = as_array(a, "A")
+        self.b = as_array(b, "B")
+        check_mergeable(self.a, self.b)
+        # Outer comparison builds the full matrix; acceptable because the
+        # class is a reference model used only on small inputs.
+        self.m = np.greater.outer(self.a, self.b)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(|A|, |B|)``."""
+        return self.m.shape
+
+    def __getitem__(self, key: tuple[int, int]) -> bool:
+        return bool(self.m[key])
+
+    def cross_diagonal(self, d: int) -> np.ndarray:
+        """Entries of cross diagonal ``d`` ordered from top-right to bottom-left.
+
+        Cross diagonal ``d`` (1-based distance from the origin corner in
+        the paper; here ``d`` ranges over ``1..|A|+|B|-1``) contains the
+        matrix cells ``(i, j)`` with ``i + j == d - 1``.  Corollary 12
+        states the returned sequence is monotonically non-decreasing in
+        this order (equivalently non-increasing bottom-left to top-right).
+        """
+        m, n = self.shape
+        cells = [(i, d - 1 - i) for i in range(m) if 0 <= d - 1 - i < n]
+        cells.sort()  # increasing i == from top-right corner downward
+        return np.array([self.m[c] for c in cells], dtype=bool)
+
+    def diagonal_is_monotone(self, d: int) -> bool:
+        """Check Corollary 12 on one cross diagonal.
+
+        Ordered from the top (small ``i``) to the bottom of the diagonal,
+        entries must go from 0s to 1s with a single transition: element
+        ``(i, j)`` is ``A[i] > B[j]``; moving down the diagonal increases
+        ``i`` and decreases ``j``, so once true it stays true.
+        """
+        diag = self.cross_diagonal(d)
+        return bool(np.all(diag[:-1] <= diag[1:]))
+
+    def path_intersection(self, d: int) -> PathPoint:
+        """Merge-path point on grid cross diagonal ``d`` (Proposition 13).
+
+        ``d`` here indexes *grid* diagonals in consumed-count space:
+        the returned point ``(i, j)`` satisfies ``i + j == d`` with
+        ``0 <= d <= |A| + |B|``.  Found by scanning — the O(log) version
+        lives in :mod:`repro.core.merge_path`.
+        """
+        m, n = self.shape
+        lo = max(0, d - n)
+        hi = min(d, m)
+        for i in range(lo, hi + 1):
+            j = d - i
+            # The path passes through (i, j) iff the last consumed A element
+            # (if any) did not exceed the next B element, and the next A
+            # element (if any) exceeds the last consumed B element.
+            cond_a = i == 0 or j == n or self.a[i - 1] <= self.b[j]
+            cond_b = j == 0 or i == m or self.a[i] > self.b[j - 1]
+            if cond_a and cond_b:
+                return PathPoint(i, j)
+        raise AssertionError(f"no path intersection found on diagonal {d}")
+
+
+def build_merge_path(
+    a: Sequence | np.ndarray, b: Sequence | np.ndarray
+) -> list[PathPoint]:
+    """Walk the merge path exactly as Section II.A constructs it.
+
+    Returns the full point sequence from ``(0, 0)`` to ``(|A|, |B|)``.
+    O(|A| + |B|) time but element-at-a-time Python — reference model only.
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    m, n = len(a), len(b)
+    i = j = 0
+    path = [PathPoint(0, 0)]
+    while i < m or j < n:
+        if i == m:
+            j += 1  # bottom edge: only rightward moves remain
+        elif j == n:
+            i += 1  # right edge: only downward moves remain
+        elif a[i] > b[j]:
+            j += 1  # move right, consuming B[j]
+        else:
+            i += 1  # move down, consuming A[i] (ties consume A: stability)
+        path.append(PathPoint(i, j))
+    return path
+
+
+def path_moves(path: list[PathPoint]) -> str:
+    """Encode a path as a move string of ``'D'`` (down/A) and ``'R'`` (right/B)."""
+    out = []
+    for prev, cur in zip(path, path[1:]):
+        if cur.i == prev.i + 1 and cur.j == prev.j:
+            out.append("D")
+        elif cur.j == prev.j + 1 and cur.i == prev.i:
+            out.append("R")
+        else:
+            raise ValueError(f"non-unit path step {prev} -> {cur}")
+    return "".join(out)
+
+
+def path_to_merged(
+    a: Sequence | np.ndarray, b: Sequence | np.ndarray, path: list[PathPoint]
+) -> np.ndarray:
+    """Materialize the merged array from a path (Lemma 1).
+
+    Each down step emits the next unused element of ``A``; each right
+    step emits the next unused element of ``B``.
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    out = np.empty(len(a) + len(b), dtype=np.promote_types(a.dtype, b.dtype))
+    for k, (prev, cur) in enumerate(zip(path, path[1:])):
+        if cur.i == prev.i + 1:
+            out[k] = a[prev.i]
+        else:
+            out[k] = b[prev.j]
+    return out

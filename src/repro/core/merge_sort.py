@@ -1,0 +1,162 @@
+"""Parallel merge sort (Section III).
+
+The classic structure: split the input into ``p`` chunks, sort each
+chunk independently (one per processor), then run ``log2 p`` rounds of
+pairwise merges.  Early rounds have more array pairs than processors
+and parallelize trivially across pairs; once pairs become scarce the
+processors *within* each pair cooperate using Algorithm 1's merge-path
+partitioning — this is precisely the regime the paper says motivates
+parallel merge ("this is no longer the case in later rounds").
+
+``merge_sort_rounds`` exposes the round-by-round schedule (which merge
+ran with how many cooperating processors) for the SORT experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..backends import Backend, get_backend
+from ..types import MergeStats
+from ..validation import as_array, check_positive
+from .merge_path import partition_merge_path
+from .parallel_merge import merge_partition
+
+__all__ = ["parallel_merge_sort", "merge_sort_rounds", "RoundInfo"]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundInfo:
+    """Schedule record for one round of the sort.
+
+    ``pairs`` is the number of array pairs merged this round and
+    ``procs_per_pair`` how many processors cooperated inside each merge.
+    """
+
+    round_index: int
+    pairs: int
+    procs_per_pair: int
+    run_length: int
+
+
+def merge_sort_rounds(n: int, p: int) -> list[RoundInfo]:
+    """Predict the round schedule for sorting ``n`` elements with ``p`` cores.
+
+    Round 0 is the chunk-local sequential sort; each later round halves
+    the number of runs.  Processors per pair grows as pairs shrink,
+    keeping all ``p`` cores busy every round (the paper's point: total
+    computation per round is constant, so every round must parallelize).
+    """
+    check_positive(n, "n")
+    check_positive(p, "p")
+    rounds: list[RoundInfo] = []
+    runs = min(p, n)
+    run_length = (n + runs - 1) // runs
+    r = 1
+    while runs > 1:
+        pairs = runs // 2
+        procs = max(1, p // max(1, pairs))
+        rounds.append(
+            RoundInfo(round_index=r, pairs=pairs, procs_per_pair=procs,
+                      run_length=run_length)
+        )
+        runs = (runs + 1) // 2
+        run_length *= 2
+        r += 1
+    return rounds
+
+
+def parallel_merge_sort(
+    x: Sequence | np.ndarray,
+    p: int,
+    *,
+    backend: Backend | str = "threads",
+    kernel: str = "vectorized",
+    base_sort: str = "numpy",
+    stats: MergeStats | None = None,
+) -> np.ndarray:
+    """Sort ``x`` with ``p`` processors using merge-path merges.
+
+    Parameters
+    ----------
+    x:
+        Input array (any order, any comparable dtype).
+    p:
+        Processor count; also the initial chunk count.
+    backend:
+        Execution backend (instance or name) shared across rounds.
+    kernel:
+        In-segment merge kernel for the merge rounds.
+    base_sort:
+        ``"numpy"`` (default, ``np.sort`` per chunk — stand-in for each
+        core's local sequential sort) or ``"merge"`` (recursive
+        sequential merge sort in Python; used by tests to keep the whole
+        pipeline within counted kernels).
+    stats:
+        Optional operation-count sink covering the merge rounds.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted copy of ``x`` (the input is never mutated).
+    """
+    check_positive(p, "p")
+    arr = as_array(x, "x").copy()
+    n = len(arr)
+    if n <= 1:
+        return arr
+
+    own_backend = isinstance(backend, str)
+    be = get_backend(backend, max_workers=p) if own_backend else backend
+    try:
+        # --- Round 0: independent chunk sorts, one chunk per processor.
+        chunks = min(p, n)
+        bounds = [(k * n) // chunks for k in range(chunks + 1)]
+        runs: list[np.ndarray] = [
+            arr[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+        ]
+
+        def sort_chunk(chunk: np.ndarray) -> np.ndarray:
+            if base_sort == "numpy":
+                return np.sort(chunk, kind="mergesort")  # stable, like ours
+            return _sequential_merge_sort(chunk, stats)
+
+        runs = be.map(sort_chunk, runs)
+
+        # --- Merge rounds: pair adjacent runs until one remains.
+        while len(runs) > 1:
+            procs_per_pair = max(1, p // (len(runs) // 2))
+            next_runs: list[np.ndarray] = []
+            # Merge pairs; an odd run out is carried to the next round.
+            for i in range(0, len(runs) - 1, 2):
+                a, b = runs[i], runs[i + 1]
+                part = partition_merge_path(a, b, procs_per_pair, check=False,
+                                            stats=stats)
+                merged = merge_partition(
+                    a, b, part, backend=be, kernel=kernel, stats=stats
+                )
+                next_runs.append(merged)
+            if len(runs) % 2:
+                next_runs.append(runs[-1])
+            runs = next_runs
+        return runs[0]
+    finally:
+        if own_backend:
+            be.close()
+
+
+def _sequential_merge_sort(
+    chunk: np.ndarray, stats: MergeStats | None
+) -> np.ndarray:
+    """Plain recursive merge sort over the counted two-pointer kernel."""
+    from .sequential import merge_two_pointer
+
+    if len(chunk) <= 1:
+        return chunk
+    mid = len(chunk) // 2
+    left = _sequential_merge_sort(chunk[:mid], stats)
+    right = _sequential_merge_sort(chunk[mid:], stats)
+    return merge_two_pointer(left, right, check=False, stats=stats)

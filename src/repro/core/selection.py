@@ -1,0 +1,147 @@
+"""Selection on unions of sorted arrays.
+
+:func:`kth_of_union` finds the k-th smallest element of ``A ∪ B`` in
+``O(log min(|A|, |B|))`` — the primitive behind the Akl–Santoro [5] and
+Deo–Sarkar [2] baselines, and mathematically *the same search* as the
+merge-path diagonal intersection (the paper's Section V observation that
+"their way of finding the median is similar to the process that we
+use"). The correspondence: the k-th smallest is the element consumed by
+the merge path's k-th step, and the split ``(i, j)`` returned here is
+exactly the path's intersection with grid diagonal ``k``.
+
+:func:`kth_of_union_many` generalizes to unions of many sorted arrays by
+binary-searching the *value* domain with vectorized rank queries — the
+device the k-way extension uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InputError
+from ..types import MergeStats, PathPoint
+from ..validation import as_array, check_sorted
+from .merge_path import diagonal_intersection
+
+__all__ = ["kth_of_union", "kth_of_union_many", "union_rank", "topk_of_union"]
+
+
+def kth_of_union(
+    a: np.ndarray,
+    b: np.ndarray,
+    k: int,
+    *,
+    stats: MergeStats | None = None,
+) -> tuple[object, PathPoint]:
+    """k-th smallest (1-based) of the union of two sorted arrays.
+
+    Returns ``(value, split)`` where ``split = (i, j)`` says the ``k``
+    smallest elements are exactly ``A[:i]`` and ``B[:j]`` under the
+    stable A-first tie-break.
+
+    Raises :class:`~repro.errors.InputError` unless
+    ``1 <= k <= |A| + |B|``.
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    if not 1 <= k <= len(a) + len(b):
+        raise InputError(f"k must be in [1, {len(a) + len(b)}], got {k}")
+    point = diagonal_intersection(a, b, k, stats=stats)
+    # The k-th smallest is the element consumed by the path's k-th step:
+    # the larger of the two "last consumed" candidates.
+    i, j = point.i, point.j
+    if i == 0:
+        value = b[j - 1]
+    elif j == 0:
+        value = a[i - 1]
+    else:
+        value = max(a[i - 1], b[j - 1])
+    return value, point
+
+
+def union_rank(arrays: Sequence[np.ndarray], value: object, side: str = "left") -> int:
+    """Total rank of ``value`` across sorted arrays.
+
+    ``side='left'``: number of elements strictly less than ``value``;
+    ``side='right'``: number of elements ``<= value``.
+    """
+    if side not in ("left", "right"):
+        raise InputError(f"side must be 'left' or 'right', got {side!r}")
+    return int(sum(np.searchsorted(arr, value, side=side) for arr in arrays))
+
+
+def kth_of_union_many(
+    arrays: Sequence[np.ndarray],
+    k: int,
+    *,
+    check: bool = True,
+) -> tuple[object, list[int]]:
+    """k-th smallest (1-based) of the union of many sorted arrays.
+
+    Binary search over the merged *rank space*: candidate values are
+    drawn from the arrays themselves, and each probe costs one
+    ``searchsorted`` per array, giving
+    ``O(log N · Σ log |arrays_t|)`` total.
+
+    Returns ``(value, splits)`` where ``splits[t]`` elements of
+    ``arrays[t]`` fall among the ``k`` smallest.  Ties are broken by
+    array order (earlier arrays first), extending the A-before-B rule.
+    """
+    arrays = [as_array(arr, f"arrays[{t}]") for t, arr in enumerate(arrays)]
+    if check:
+        for t, arr in enumerate(arrays):
+            check_sorted(arr, f"arrays[{t}]")
+    total = sum(len(arr) for arr in arrays)
+    if not 1 <= k <= total:
+        raise InputError(f"k must be in [1, {total}], got {k}")
+
+    # The k-th smallest value via linear-time selection over the pooled
+    # elements.  (A polylogarithmic multiselection exists — Deo et al.
+    # [7] — but this substrate favours robustness across dtypes; the
+    # cost matches the Ω(N) lower bound of the merge that follows.)
+    pooled = np.concatenate([arr for arr in arrays if len(arr)])
+    value = np.partition(pooled, k - 1)[k - 1]
+
+    # Split counts: everything strictly below `value` is in, then ties
+    # are admitted array-by-array until k elements are reached.
+    splits = [int(np.searchsorted(arr, value, side="left")) for arr in arrays]
+    remaining = k - sum(splits)
+    for t, arr in enumerate(arrays):
+        if remaining <= 0:
+            break
+        ties = int(np.searchsorted(arr, value, side="right")) - splits[t]
+        take = min(ties, remaining)
+        splits[t] += take
+        remaining -= take
+    if remaining != 0:
+        raise AssertionError("rank bookkeeping failed")  # pragma: no cover
+    return value, splits
+
+
+def topk_of_union(
+    a: np.ndarray,
+    b: np.ndarray,
+    k: int,
+    *,
+    stats: MergeStats | None = None,
+) -> np.ndarray:
+    """The ``k`` smallest elements of ``A ∪ B``, merged, in order.
+
+    One diagonal search locates the k-prefix split (Theorem 9: output
+    rank == grid diagonal), then only those prefixes are merged —
+    ``O(log min(|A|,|B|) + k)`` total, independent of ``|A| + |B|``.
+    The top-k idiom (leaderboards, limit queries over two sorted
+    sources) for free from the paper's machinery.
+    """
+    from .sequential import merge_vectorized
+
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    if k == 0:
+        return np.empty(0, dtype=np.promote_types(a.dtype, b.dtype))
+    if not 0 <= k <= len(a) + len(b):
+        raise InputError(f"k must be in [0, {len(a) + len(b)}], got {k}")
+    point = diagonal_intersection(a, b, k, stats=stats)
+    return merge_vectorized(a[: point.i], b[: point.j], check=False)

@@ -1,0 +1,140 @@
+"""Streaming (out-of-core) merge — Algorithm 2's cyclic buffer, literally.
+
+Algorithm 2's step 1 refills an in-cache window of each input by exactly
+the amount the previous block consumed.  Taken literally, that is a
+*streaming* merge: the inputs need not be arrays at all, only sorted
+element sources, and memory stays O(L).  This module provides that as a
+first-class library feature:
+
+:func:`streaming_merge` consumes two sorted iterables (anything
+yielding comparable scalars — generators, file readers, array chunks)
+and yields merged numpy blocks of at most ``L`` elements, holding at
+most ``L`` buffered elements per input at any time.  Inside each block
+the merge is the ordinary vectorized segment merge, so throughput is
+C-speed even though the sources are Python iterators.
+
+Sortedness is validated *incrementally* — a disordered source raises
+:class:`~repro.errors.NotSortedError` at the offending element, with
+its global index, even though the full stream is never materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import NotSortedError
+from ..validation import check_positive
+from .merge_path import diagonal_intersection
+from .sequential import merge_vectorized
+
+__all__ = ["streaming_merge", "ChunkFeeder"]
+
+
+class ChunkFeeder:
+    """Buffers a sorted element source up to a bounded window.
+
+    Wraps any iterable of scalars (or of numpy chunks — chunks are
+    flattened) and exposes the window the SPM block loop needs:
+    :meth:`fill` tops the buffer up to ``L`` elements (or to source
+    exhaustion), :meth:`consume` drops the first ``k``.
+    """
+
+    def __init__(self, source: Iterable, name: str, dtype=None) -> None:
+        self._it = iter(source)
+        self.name = name
+        self._dtype = dtype
+        self._buffer: list = []
+        self._exhausted = False
+        self._last = None
+        self._position = 0  # global index of the next element to arrive
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the source has ended (buffer may still hold data)."""
+        return self._exhausted
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def fill(self, upto: int) -> None:
+        """Pull from the source until ``upto`` elements are buffered.
+
+        Validates monotonicity element by element; the error's ``index``
+        is the global position of the first out-of-order element.
+        """
+        while len(self._buffer) < upto and not self._exhausted:
+            try:
+                item = next(self._it)
+            except StopIteration:
+                self._exhausted = True
+                break
+            values = np.atleast_1d(np.asarray(item))
+            for v in values:
+                if self._last is not None and v < self._last:
+                    raise NotSortedError(self.name, self._position - 1)
+                self._last = v
+                self._buffer.append(v)
+                self._position += 1
+
+    def window(self) -> np.ndarray:
+        """Current buffer as an array (no copy avoidance needed at L-size)."""
+        if not self._buffer:
+            return np.empty(0, dtype=self._dtype or np.float64)
+        return np.asarray(self._buffer, dtype=self._dtype)
+
+    def consume(self, k: int) -> None:
+        """Drop the first ``k`` buffered elements (they were merged out)."""
+        if k:
+            del self._buffer[:k]
+
+
+def streaming_merge(
+    source_a: Iterable,
+    source_b: Iterable,
+    *,
+    L: int = 4096,
+    dtype=None,
+) -> Iterator[np.ndarray]:
+    """Merge two sorted element streams with O(L) memory.
+
+    Parameters
+    ----------
+    source_a, source_b:
+        Iterables of comparable scalars **or** of numpy chunks; each
+        must be globally sorted (validated incrementally).
+    L:
+        Block/window size in elements — the ``C/3`` of Algorithm 2.
+        Peak buffered state is ``2L`` input elements plus one ``<= L``
+        output block.
+    dtype:
+        Optional dtype for the yielded blocks (default: numpy inference
+        per block).
+
+    Yields
+    ------
+    numpy.ndarray
+        Sorted blocks whose concatenation is the stable merge of the
+        two streams (``A`` before equal ``B``).
+    """
+    check_positive(L, "L")
+    fa = ChunkFeeder(source_a, "A", dtype)
+    fb = ChunkFeeder(source_b, "B", dtype)
+    while True:
+        fa.fill(L)
+        fb.fill(L)
+        wa = fa.window()
+        wb = fb.window()
+        avail = len(wa) + len(wb)
+        if avail == 0:
+            return
+        lb = min(L, avail)
+        # Theorem 16: with both windows filled to L (or their source
+        # drained), the first lb path steps need no later elements.
+        end = diagonal_intersection(wa, wb, lb)
+        block = merge_vectorized(wa[: end.i], wb[: end.j], check=False)
+        fa.consume(end.i)
+        fb.consume(end.j)
+        yield block

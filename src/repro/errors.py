@@ -1,0 +1,96 @@
+"""Exception hierarchy for the merge-path reproduction package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing input problems (:class:`InputError` and subclasses)
+from simulator-detected model violations
+(:class:`~repro.errors.MemoryConflictError`, :class:`SimulationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InputError(ReproError, ValueError):
+    """An argument supplied by the caller is invalid."""
+
+
+class NotSortedError(InputError):
+    """An input array that must be sorted is not sorted.
+
+    Merge Path (Definition 1 and every lemma built on it) assumes the two
+    input arrays are sorted in non-decreasing order; violating that breaks
+    the monotonicity of the merge-matrix cross diagonals (Corollary 12)
+    that the diagonal binary search relies on.
+    """
+
+    def __init__(self, name: str, index: int) -> None:
+        self.name = name
+        #: Index ``i`` such that ``arr[i] > arr[i + 1]``.
+        self.index = index
+        super().__init__(
+            f"array {name!r} is not sorted: order violated at index {index} "
+            f"(element {index} > element {index + 1})"
+        )
+
+
+class DTypeMismatchError(InputError):
+    """Two arrays participating in a merge have incompatible dtypes."""
+
+
+class PartitionError(ReproError):
+    """A partitioning step produced an internally inconsistent result.
+
+    This indicates a bug in a partitioner (or a baseline intentionally
+    demonstrating incorrectness), never a user error.
+    """
+
+
+class SimulationError(ReproError):
+    """Base class for PRAM / cache simulation failures."""
+
+
+class MemoryConflictError(SimulationError):
+    """The PRAM access auditor observed a forbidden concurrent access.
+
+    Under CREW, two processors wrote the same address in one lockstep
+    cycle; under EREW, two processors touched the same address at all.
+    The offending address and processor ids are recorded for diagnosis.
+    """
+
+    def __init__(
+        self, kind: str, address: object, processors: tuple[int, ...]
+    ) -> None:
+        self.kind = kind
+        self.address = address
+        self.processors = processors
+        super().__init__(
+            f"{kind} conflict at address {address!r} between processors "
+            f"{sorted(processors)}"
+        )
+
+
+class DeadlockError(SimulationError):
+    """No PRAM processor made progress during a lockstep cycle."""
+
+
+class BackendError(ReproError):
+    """An execution backend failed to run a task set."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured inconsistently."""
+
+
+class UnknownExperimentError(ExperimentError, KeyError):
+    """Requested experiment id is not present in the registry."""
+
+    def __init__(self, exp_id: str, known: tuple[str, ...]) -> None:
+        self.exp_id = exp_id
+        self.known = known
+        super().__init__(
+            f"unknown experiment {exp_id!r}; known ids: {', '.join(known)}"
+        )

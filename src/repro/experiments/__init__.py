@@ -1,0 +1,36 @@
+"""Experiment runners — one per paper table/figure (see DESIGN.md §5).
+
+Each module exposes ``run(...) -> ExperimentResult`` with two scales:
+the default parameters finish in seconds (CI-friendly); ``full=True``
+uses the paper's sizes (Figure 5's 1M–256M arrays run through the
+counted/analytic path, so even full scale is minutes, not hours).
+
+Use :func:`repro.experiments.registry.get_experiment` /
+``python -m repro <EXP_ID>`` to run by id.
+"""
+
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+from . import (
+    fig5_speedup,
+    hypercore,
+    overhead,
+    partition_cost,
+    complexity_fit,
+    load_balance,
+    cache_misses,
+    sort_scaling,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "fig5_speedup",
+    "hypercore",
+    "overhead",
+    "partition_cost",
+    "complexity_fit",
+    "load_balance",
+    "cache_misses",
+    "sort_scaling",
+]

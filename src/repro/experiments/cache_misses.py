@@ -1,0 +1,212 @@
+"""SPM — Section IV: cache behaviour of basic vs segmented parallel merge.
+
+The paper's claim: when the arrays dwarf the (shared) cache, the basic
+parallel merge's p concurrent streams thrash it, while Algorithm 2
+confines the live working set to ~3L = C elements, so misses collapse
+to the compulsory minimum (every line fetched once).  The authors could
+not measure this end to end (incomplete Hypercore prototype); we run
+the exact access traces through the cache simulator instead.
+
+Reported per configuration:
+
+* DRAM accesses per kilo-access for sequential, basic parallel, and
+  segmented parallel merges on a small shared cache
+  (Hypercore-like machine);
+* the compulsory-miss floor (total distinct lines touched), to show SPM
+  sits on it;
+* the 3-way associativity check: SPM's miss count with a 3-way cache of
+  capacity C vs fully associative — the paper's remark that 3 ways
+  suffice to avoid collisions between the three L-sized streams.
+"""
+
+from __future__ import annotations
+
+from ..cache.set_assoc import ReplacementPolicy, SetAssociativeCache
+from ..cache.trace import AddressMap
+from ..cache.traced_merge import (
+    trace_parallel_merge,
+    trace_segmented_merge,
+    trace_sequential_merge,
+)
+from ..core.segmented_merge import block_length
+from ..machine.specs import hypercore_like
+from ..types import ExperimentResult
+from ..workloads.generators import sorted_uniform_ints
+
+__all__ = ["run"]
+
+
+def _compulsory_lines(n_per_array: int, element_bytes: int, line_bytes: int) -> int:
+    """Distinct cache lines across A, B and S (each touched >= once)."""
+    per_arr = (n_per_array * element_bytes + line_bytes - 1) // line_bytes
+    out = (2 * n_per_array * element_bytes + line_bytes - 1) // line_bytes
+    return 2 * per_arr + out
+
+
+def run(
+    *,
+    n_per_array: int = 1 << 14,
+    p: int = 8,
+    p_sweep: tuple[int, ...] = (2, 4, 8, 16),
+    cache_elements: int = 1 << 10,
+    seed: int = 31,
+) -> ExperimentResult:
+    """Replay merge traces through a small shared cache."""
+    spec = hypercore_like()
+    element_bytes = 4
+    a = sorted_uniform_ints(n_per_array, seed)
+    b = sorted_uniform_ints(n_per_array, seed + 1)
+    amap = AddressMap(
+        {"A": len(a), "B": len(b), "S": len(a) + len(b)},
+        element_bytes=element_bytes,
+    )
+    # Shared-cache machine: model the shared cache as every core's L1
+    # (that is the Hypercore shape), sized to cache_elements.
+    cache_bytes = cache_elements * element_bytes
+    L = block_length(cache_elements)
+
+    result = ExperimentResult(
+        exp_id="SPM",
+        title="Cache misses: basic parallel merge vs Segmented Parallel "
+        "Merge (paper Section IV)",
+        columns=[
+            "algorithm",
+            "p",
+            "accesses",
+            "dram_fills",
+            "dram_per_kilo",
+            "vs_compulsory",
+        ],
+    )
+    compulsory = _compulsory_lines(n_per_array, element_bytes, spec.line_bytes)
+
+    traces = {
+        "sequential": (trace_sequential_merge(a, b), 1),
+        "parallel_basic": (trace_parallel_merge(a, b, p), p),
+        "segmented_SPM": (trace_segmented_merge(a, b, p, L), p),
+    }
+    for name, (trace, cores) in traces.items():
+        stats = _replay_shared(trace, amap, cache_bytes, spec.line_bytes, assoc=16)
+        result.add_row(
+            algorithm=name,
+            p=cores,
+            accesses=stats["accesses"],
+            dram_fills=stats["misses"],
+            dram_per_kilo=round(1000 * stats["misses"] / stats["accesses"], 2),
+            vs_compulsory=round(stats["misses"] / compulsory, 2),
+        )
+
+    # Associativity ablation (paper: 3 ways suffice for SPM; the basic
+    # merge's p distant stream triples keep conflicting regardless).
+    for name in ("parallel_basic", "segmented_SPM"):
+        for assoc in (1, 2, 3, 4):
+            stats = _replay_shared(
+                traces[name][0], amap, cache_bytes, spec.line_bytes, assoc=assoc
+            )
+            result.add_row(
+                algorithm=f"{name}/{assoc}-way",
+                p=p,
+                accesses=stats["accesses"],
+                dram_fills=stats["misses"],
+                dram_per_kilo=round(1000 * stats["misses"] / stats["accesses"], 2),
+                vs_compulsory=round(stats["misses"] / compulsory, 2),
+            )
+
+    # Core-count sweep: the paper's point that SPM's working set is
+    # p-independent (always ~3L), while the basic merge's grows with p.
+    for sweep_p in p_sweep:
+        for name, trace in (
+            ("parallel_basic", trace_parallel_merge(a, b, sweep_p)),
+            ("segmented_SPM", trace_segmented_merge(a, b, sweep_p, L)),
+        ):
+            stats = _replay_shared(
+                trace, amap, cache_bytes, spec.line_bytes, assoc=2
+            )
+            result.add_row(
+                algorithm=f"{name}/2-way/p-sweep",
+                p=sweep_p,
+                accesses=stats["accesses"],
+                dram_fills=stats["misses"],
+                dram_per_kilo=round(1000 * stats["misses"] / stats["accesses"], 2),
+                vs_compulsory=round(stats["misses"] / compulsory, 2),
+            )
+
+    # Prefetch study: the paper's Section VI reasoning for running the
+    # *basic* algorithm on the Xeon ("we left this issue to the
+    # hardware").  A sequential streamer hides the basic merge's misses
+    # when the cache is large (the Xeon case: demand misses drop by
+    # ~(degree+1)x toward zero) but *pollutes* a tiny shared cache (the
+    # Hypercore case, where SPM is the right tool).
+    from ..cache.prefetch import SequentialPrefetcher
+
+    basic_trace = traces["parallel_basic"][0]
+    for cache_label, pf_bytes in (
+        ("small", cache_bytes),
+        ("large", 64 * cache_bytes),
+    ):
+        for degree in (0, 2, 4):
+            cache = SetAssociativeCache(
+                pf_bytes, spec.line_bytes, 16, ReplacementPolicy.LRU
+            )
+            if degree == 0:
+                demand_misses = 0
+                for acc in basic_trace:
+                    hit, _ = cache.access(
+                        amap.byte_address(acc.array, acc.index), acc.write
+                    )
+                    demand_misses += not hit
+                accesses = cache.stats.accesses
+            else:
+                pf = SequentialPrefetcher(cache, degree)
+                for acc in basic_trace:
+                    pf.access(
+                        amap.byte_address(acc.array, acc.index), acc.write
+                    )
+                demand_misses = pf.stats.demand_misses
+                accesses = pf.stats.demand_accesses
+            result.add_row(
+                algorithm=f"basic/{cache_label}-cache/prefetch-x{degree}",
+                p=p,
+                accesses=accesses,
+                dram_fills=demand_misses,
+                dram_per_kilo=round(1000 * demand_misses / accesses, 2),
+                vs_compulsory=round(demand_misses / compulsory, 2),
+            )
+
+    result.notes.append(
+        f"shared cache: {cache_elements} elements ({cache_bytes} B), "
+        f"block L=C/3={L}; arrays {n_per_array} elements each; "
+        f"compulsory floor {compulsory} line fills"
+    )
+    result.notes.append(
+        "prefetch rows (dram_fills = demand misses only): a streamer "
+        "hides the basic merge's misses — the paper's stated reason for "
+        "benchmarking the basic algorithm on the prefetching Xeon — and "
+        "deeper prefetch keeps helping on the large cache while it "
+        "starts polluting the small one (x4 worse than x2); on "
+        "prefetcher-less simple caches (Hypercore) SPM remains the tool"
+    )
+    result.notes.append(
+        "expectation: SPM ~= compulsory floor at >=3-way associativity "
+        "and stays there as p grows; basic parallel merge exceeds it "
+        "(p concurrent distant streams) once arrays >> cache"
+    )
+    result.notes.append(
+        "aside: basic/3-way can beat basic/4-way — 3-way gives a "
+        "non-power-of-two set count, which de-aliases the power-of-two "
+        "array strides; a real effect of odd-way caches, not noise"
+    )
+    return result
+
+
+def _replay_shared(
+    trace, amap: AddressMap, cache_bytes: int, line_bytes: int, assoc: int
+) -> dict[str, int]:
+    """Replay a trace against one shared cache (Hypercore shape)."""
+    assoc = min(assoc, cache_bytes // line_bytes)
+    cache = SetAssociativeCache(
+        cache_bytes, line_bytes, assoc, ReplacementPolicy.LRU, "shared"
+    )
+    for acc in trace:
+        cache.access(amap.byte_address(acc.array, acc.index), acc.write)
+    return {"accesses": cache.stats.accesses, "misses": cache.stats.misses}

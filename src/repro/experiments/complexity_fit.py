@@ -1,0 +1,71 @@
+"""COMPLEX — Section III complexity: T = O(N/p + log N), W = O(N + p log N).
+
+Measures lockstep-PRAM (or counted, for larger N) cycle counts of
+Algorithm 1 over an (N, p) grid and fits the Section III time model by
+least squares.  The reproduction succeeds when
+
+* the fit's R² is ≈ 1 (the model explains the measurements),
+* the work column grows linearly in N with a ``p·log N`` ripple, i.e.
+  work/N stays within a narrow band across p (the "negligible excess
+  work" claim).
+"""
+
+from __future__ import annotations
+
+from ..analysis.complexity import fit_merge_time_model
+from ..pram.merge_programs import counted_parallel_merge
+from ..types import ExperimentResult
+from ..workloads.generators import sorted_uniform_ints
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    exponents: tuple[int, ...] = (10, 12, 14, 16),
+    ps: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    seed: int = 17,
+) -> ExperimentResult:
+    """Fit measured Algorithm-1 cycles to ``c1·N/p + c2·log2 N + c0``."""
+    ns: list[int] = []
+    pls: list[int] = []
+    times: list[float] = []
+    works: list[int] = []
+    for e in exponents:
+        half = 1 << (e - 1)
+        a = sorted_uniform_ints(half, seed + e)
+        b = sorted_uniform_ints(half, seed + e + 100)
+        for p in ps:
+            counted = counted_parallel_merge(a, b, p)
+            ns.append(1 << e)
+            pls.append(p)
+            times.append(float(counted.time))
+            works.append(counted.work)
+
+    fit = fit_merge_time_model(ns, pls, times)
+
+    result = ExperimentResult(
+        exp_id="COMPLEX",
+        title="Time/work complexity of Algorithm 1 vs Section III model",
+        columns=["N", "p", "time_cycles", "model_pred", "work_cycles", "work_per_N"],
+    )
+    for n, p, t, w in zip(ns, pls, times, works):
+        result.add_row(
+            N=n,
+            p=p,
+            time_cycles=int(t),
+            model_pred=round(fit.predict(n, p), 1),
+            work_cycles=w,
+            work_per_N=round(w / n, 3),
+        )
+    result.notes.append(
+        f"fit T = {fit.c_linear:.3f}·(N/p) + {fit.c_log:.2f}·log2(N) "
+        f"+ {fit.c_const:.2f};  R² = {fit.r_squared:.5f}, "
+        f"max relative residual = {fit.max_rel_residual:.3%}"
+    )
+    result.notes.append(
+        "paper model: O(N/p + log N) time, O(N + p·log N) work; "
+        "work_per_N must stay in a narrow band (2..4 cycles/element) "
+        "across all p"
+    )
+    return result

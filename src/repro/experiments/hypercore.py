@@ -1,0 +1,127 @@
+"""HYPER — the conclusion's prediction: SPM wins on simple many-cores.
+
+Section VII: "sorting can be carried out in a much more cost- and
+power-efficient manner on many-core systems with lightweight compute
+cores.  To this end, the efficient segmented version of our algorithm
+is very promising, as it can operate efficiently with simple caches."
+The authors could not measure this (the Hypercore prototype's cache was
+incomplete) — this experiment produces the number the sentence implies.
+
+Model: a Hypercore-like machine (many simple cores, one small shared
+cache, no prefetcher).  For each algorithm and core count we combine
+
+* compute cycles: exact counted merge operations / p
+  (both algorithms are perfectly balanced, so division is honest), and
+* memory stall cycles: trace-driven misses from the cache simulator ×
+  the DRAM penalty (every miss stalls a simple in-order core),
+
+into modeled cycles, and report basic-vs-SPM speedup per p.  The
+prediction reproduces if SPM's advantage *grows with p* (the basic
+merge's miss rate explodes as p streams thrash the shared cache —
+see the SPM experiment's p-sweep — while SPM's stays flat).
+"""
+
+from __future__ import annotations
+
+from ..cache.set_assoc import ReplacementPolicy, SetAssociativeCache
+from ..cache.trace import AddressMap
+from ..cache.traced_merge import trace_parallel_merge, trace_segmented_merge
+from ..core.segmented_merge import block_length
+from ..machine.specs import hypercore_like
+from ..types import ExperimentResult
+from ..workloads.generators import sorted_uniform_ints
+
+__all__ = ["run"]
+
+#: Cycles one merge step costs on a lightweight in-order core.
+CYCLES_PER_ACCESS = 1
+#: Stall cycles per shared-cache miss (DRAM behind a simple NoC).
+MISS_PENALTY = 60
+
+
+def run(
+    *,
+    n_per_array: int = 1 << 13,
+    ps: tuple[int, ...] = (4, 16, 64),
+    cache_elements: int = 1 << 10,
+    assoc: int = 4,
+    seed: int = 47,
+) -> ExperimentResult:
+    """Model basic vs SPM merge cycles on the Hypercore-like machine."""
+    spec = hypercore_like()
+    element_bytes = 4
+    a = sorted_uniform_ints(n_per_array, seed)
+    b = sorted_uniform_ints(n_per_array, seed + 1)
+    amap = AddressMap(
+        {"A": len(a), "B": len(b), "S": len(a) + len(b)},
+        element_bytes=element_bytes,
+    )
+    L = block_length(cache_elements)
+
+    result = ExperimentResult(
+        exp_id="HYPER",
+        title="Section VII prediction: segmented merge on a simple "
+        "shared-cache many-core",
+        columns=[
+            "p",
+            "algorithm",
+            "accesses",
+            "misses",
+            "compute_kcycles",
+            "stall_kcycles",
+            "total_kcycles",
+            "spm_speedup",
+        ],
+    )
+
+    for p in ps:
+        per_algo: dict[str, float] = {}
+        rows = []
+        for name, trace in (
+            ("basic", trace_parallel_merge(a, b, p)),
+            ("SPM", trace_segmented_merge(a, b, p, L)),
+        ):
+            cache = SetAssociativeCache(
+                cache_elements * element_bytes, spec.line_bytes, assoc,
+                ReplacementPolicy.LRU,
+            )
+            for acc in trace:
+                cache.access(
+                    amap.byte_address(acc.array, acc.index), acc.write
+                )
+            accesses = cache.stats.accesses
+            misses = cache.stats.misses
+            compute = accesses * CYCLES_PER_ACCESS / p
+            # the shared cache serializes miss handling: stalls do not
+            # divide by p (one memory port — the simple-machine premise)
+            stall = misses * MISS_PENALTY
+            total = compute + stall
+            per_algo[name] = total
+            rows.append((name, accesses, misses, compute, stall, total))
+        for name, accesses, misses, compute, stall, total in rows:
+            result.add_row(
+                p=p,
+                algorithm=name,
+                accesses=accesses,
+                misses=misses,
+                compute_kcycles=round(compute / 1000, 1),
+                stall_kcycles=round(stall / 1000, 1),
+                total_kcycles=round(total / 1000, 1),
+                spm_speedup=(
+                    round(per_algo["basic"] / per_algo["SPM"], 2)
+                    if name == "SPM"
+                    else ""
+                ),
+            )
+
+    result.notes.append(
+        f"machine: {spec.name}; shared {cache_elements}-element "
+        f"{assoc}-way cache, no prefetcher; miss penalty "
+        f"{MISS_PENALTY} cycles (serialized — one memory port)"
+    )
+    result.notes.append(
+        "prediction reproduces if spm_speedup grows with p: the basic "
+        "merge's 3p concurrent streams thrash the shared cache while "
+        "SPM's working set stays ~3L regardless of p (paper Section VII)"
+    )
+    return result

@@ -1,0 +1,45 @@
+"""Registry mapping DESIGN.md experiment ids to runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownExperimentError
+from ..types import ExperimentResult
+from . import (
+    cache_misses,
+    hypercore,
+    complexity_fit,
+    fig5_speedup,
+    load_balance,
+    overhead,
+    partition_cost,
+    sort_scaling,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: Experiment id -> (runner, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "FIG5": (fig5_speedup.run, "Figure 5: speedup of basic Merge Path"),
+    "REM6PCT": (overhead.run, "Section VI remark: ~6% single-thread overhead"),
+    "T14": (partition_cost.run, "Theorem 14: partition cost bound & balance"),
+    "COMPLEX": (complexity_fit.run, "Section III: O(N/p + log N) fit"),
+    "LB": (load_balance.run, "Section V: load balance vs related work"),
+    "SPM": (cache_misses.run, "Section IV: SPM vs basic cache misses"),
+    "SORT": (sort_scaling.run, "Sections III/IV.C: sort scaling & locality"),
+    "HYPER": (hypercore.run, "Section VII: SPM on a simple many-core"),
+}
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """Runner for ``exp_id``; raises UnknownExperimentError otherwise."""
+    try:
+        return EXPERIMENTS[exp_id.upper()][0]
+    except KeyError:
+        raise UnknownExperimentError(exp_id, tuple(EXPERIMENTS)) from None
+
+
+def run_experiment(exp_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id with keyword overrides."""
+    return get_experiment(exp_id)(**kwargs)

@@ -1,0 +1,212 @@
+"""SORT — Sections III & IV.C: parallel sort scaling and locality.
+
+Two parts:
+
+1. **Parallel merge sort complexity** — counted merge-round cycles of
+   :func:`repro.core.merge_sort.parallel_merge_sort` across (N, p),
+   compared with the paper's ``O(N/p · log N + log p · log N)`` model
+   (reported as measured/model ratio; flat ratio = shape reproduced).
+2. **Cache-efficient sort locality** — DRAM fills of naive parallel
+   merge sort vs the cache-efficient sort (Section IV.C) on the
+   shared-cache machine, via the cache simulator: the cache-efficient
+   variant's misses per element stay near the compulsory floor per
+   merge round, the naive one's grow once runs outgrow the cache.
+
+Because tracing full sorts is heavy, part 2 traces the *final round*
+(the largest, cache-busting merge) of each sort — where the two
+algorithms differ most and which dominates total misses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..cache.set_assoc import ReplacementPolicy, SetAssociativeCache
+from ..cache.trace import AddressMap
+from ..cache.traced_merge import trace_parallel_merge, trace_segmented_merge
+from ..core.segmented_merge import block_length
+from ..machine.specs import hypercore_like
+from ..pram.merge_programs import counted_parallel_merge
+from ..types import ExperimentResult
+from ..workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
+
+__all__ = ["run"]
+
+
+def _counted_sort_cycles(x: np.ndarray, p: int) -> int:
+    """PRAM time of the merge rounds of parallel merge sort.
+
+    Chunk-local sorts are modeled at ``(N/p)·log2(N/p)`` comparison
+    cycles (each core sorts its chunk concurrently); merge rounds use
+    the exact counted Algorithm-1 cycles with all p cores cooperating
+    per pair (pairs share the processors evenly).
+    """
+    n = len(x)
+    chunks = min(p, n)
+    bounds = [(k * n) // chunks for k in range(chunks + 1)]
+    runs = [np.sort(x[lo:hi]) for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+    local = max((hi - lo) for lo, hi in zip(bounds, bounds[1:]))
+    cycles = int(local * max(1, math.ceil(math.log2(max(local, 2)))))
+    while len(runs) > 1:
+        procs = max(1, p // (len(runs) // 2))
+        next_runs = []
+        round_time = 0
+        for i in range(0, len(runs) - 1, 2):
+            counted = counted_parallel_merge(runs[i], runs[i + 1], procs)
+            # pairs with > p total procs run concurrently in waves
+            round_time = max(round_time, counted.time)
+            next_runs.append(np.concatenate([runs[i], runs[i + 1]]))
+            next_runs[-1].sort(kind="mergesort")
+        if len(runs) % 2:
+            next_runs.append(runs[-1])
+        waves = max(1, (len(runs) // 2) * procs // max(p, 1))
+        cycles += round_time * waves
+        runs = next_runs
+    return cycles
+
+
+def run(
+    *,
+    exponents: tuple[int, ...] = (12, 14, 16),
+    ps: tuple[int, ...] = (2, 4, 8),
+    cache_elements: int = 1 << 10,
+    seed: int = 41,
+) -> ExperimentResult:
+    """Sort scaling vs model, plus final-round locality comparison."""
+    result = ExperimentResult(
+        exp_id="SORT",
+        title="Parallel merge sort scaling and cache-efficient sort "
+        "locality (paper Sections III, IV.C)",
+        columns=["part", "N", "p", "measured", "model", "ratio"],
+    )
+    # Part 1: counted sort cycles vs O(N/p log N + log p log N).
+    ratios = []
+    for e in exponents:
+        n = 1 << e
+        x = unsorted_uniform_ints(n, seed + e)
+        for p in ps:
+            measured = _counted_sort_cycles(x, p)
+            model = (n / p) * e + math.log2(max(p, 2)) * e
+            ratio = measured / model
+            ratios.append(ratio)
+            result.add_row(
+                part="sort_cycles",
+                N=n,
+                p=p,
+                measured=measured,
+                model=round(model, 0),
+                ratio=round(ratio, 2),
+            )
+    spread = max(ratios) / min(ratios) if ratios else 1.0
+
+    # Part 2: final-round locality, naive vs segmented merge of two
+    # N/2-element sorted runs through a small shared cache.
+    spec = hypercore_like()
+    element_bytes = 4
+    n = 1 << max(exponents)
+    half = n // 2
+    a = sorted_uniform_ints(half, seed)
+    b = sorted_uniform_ints(half, seed + 1)
+    amap = AddressMap(
+        {"A": half, "B": half, "S": n}, element_bytes=element_bytes
+    )
+    L = block_length(cache_elements)
+    p = ps[-1]
+    for name, trace in (
+        ("final_round_basic", trace_parallel_merge(a, b, p)),
+        ("final_round_SPM", trace_segmented_merge(a, b, p, L)),
+    ):
+        cache = SetAssociativeCache(
+            cache_elements * element_bytes, spec.line_bytes, 4,
+            ReplacementPolicy.LRU,
+        )
+        for acc in trace:
+            cache.access(amap.byte_address(acc.array, acc.index), acc.write)
+        # Distinct lines touched once: A and B together hold n elements,
+        # S holds n more.
+        floor = (2 * n * element_bytes) // spec.line_bytes
+        result.add_row(
+            part=name,
+            N=n,
+            p=p,
+            measured=cache.stats.misses,
+            model=floor,
+            ratio=round(cache.stats.misses / floor, 2),
+        )
+    # Part 2b: lockstep-PRAM execution of the full sort at a reduced
+    # size — the same model as part 1 but *measured on the machine*
+    # rather than counted, with real per-phase barriers.
+    from ..pram.sort_programs import run_parallel_merge_sort_pram
+
+    n_pram = 1 << min(min(exponents), 10)
+    xp = unsorted_uniform_ints(n_pram, seed + 3)
+    for p in ps:
+        sorted_out, pram_metrics = run_parallel_merge_sort_pram(xp, p)
+        assert np.array_equal(sorted_out, np.sort(xp))
+        model = (n_pram / p) * math.log2(n_pram) + math.log2(max(p, 2)) * \
+            math.log2(n_pram)
+        result.add_row(
+            part="pram_sort_cycles",
+            N=n_pram,
+            p=p,
+            measured=pram_metrics.time,
+            model=round(model, 0),
+            ratio=round(pram_metrics.time / model, 2),
+        )
+
+    # Part 3: whole-sort cache traffic, cache-aware (Section IV.C) vs
+    # cache-oblivious (plain recursive merge sort, the [11-13] family).
+    from ..cache.traced_sort import (
+        trace_cache_aware_sort,
+        trace_recursive_mergesort,
+    )
+    from ..workloads.generators import unsorted_uniform_ints as _unsorted
+
+    n_sort = 1 << min(max(exponents), 13)  # tracing full sorts is heavy
+    xs = _unsorted(n_sort, seed + 7)
+    amap_sort = AddressMap(
+        {"X": n_sort, "Y": n_sort}, element_bytes=element_bytes
+    )
+    for name, (trace, out) in (
+        ("sort_oblivious", trace_recursive_mergesort(xs)),
+        ("sort_cache_aware",
+         trace_cache_aware_sort(xs, ps[-1], cache_elements)),
+    ):
+        assert np.array_equal(out, np.sort(xs))
+        cache = SetAssociativeCache(
+            cache_elements * element_bytes, spec.line_bytes, 4,
+            ReplacementPolicy.LRU,
+        )
+        for acc in trace:
+            cache.access(
+                amap_sort.byte_address(acc.array, acc.index), acc.write
+            )
+        per_pass_floor = (2 * n_sort * element_bytes) // spec.line_bytes
+        result.add_row(
+            part=name,
+            N=n_sort,
+            p=ps[-1] if name == "sort_cache_aware" else 1,
+            measured=cache.stats.misses,
+            model=per_pass_floor,
+            ratio=round(cache.stats.misses / per_pass_floor, 2),
+        )
+
+    result.notes.append(
+        f"sort_cycles measured/model ratio spread across the grid: "
+        f"{spread:.2f}x (flat ratio == complexity shape reproduced; "
+        "constants are absorbed by the ratio)"
+    )
+    result.notes.append(
+        "final_round rows: 'model' is the compulsory line-fill floor; "
+        "SPM should sit near 1.0x, basic above it"
+    )
+    result.notes.append(
+        "sort_* rows: total misses of a full sort vs the per-pass floor "
+        "— Section IV.C's cache-aware sort vs the cache-oblivious "
+        "recursive merge sort of the paper's refs [11-13]; awareness of "
+        "C removes the misses of every recursion level that overflows "
+        "the cache"
+    )
+    return result

@@ -1,0 +1,33 @@
+"""External-memory (disk-backed) merge sort substrate.
+
+The cache-efficient sort of Section IV.C, taken one level down the
+hierarchy: when data exceeds *RAM*, the same structure — sort
+memory-sized runs, then merge with bounded windows — becomes classic
+external merge sort, and the cost model becomes the I/O (block
+transfer) model of Aggarwal & Vitter, the paper's reference [10].
+
+* :mod:`repro.external.io_model` — block-transfer accounting: an
+  :class:`~repro.external.io_model.IOCounter` tallies reads/writes in
+  ``B``-element blocks, and :func:`~repro.external.io_model
+  .aggarwal_vitter_bound` gives the ``(N/B)·log_{M/B}(N/B)`` optimum to
+  compare against.
+* :mod:`repro.external.runs` — run formation: slice the input into
+  ``M``-element chunks, sort each in memory, spill to disk.
+* :mod:`repro.external.sort` — the full pipeline: run formation + one
+  or more multi-way streaming merge passes, each pass reading every run
+  through an ``L``-element window (Algorithm 2's cyclic buffer applied
+  to files).
+"""
+
+from .io_model import IOCounter, aggarwal_vitter_bound
+from .runs import RunFile, form_runs
+from .sort import external_sort, merge_run_files
+
+__all__ = [
+    "IOCounter",
+    "aggarwal_vitter_bound",
+    "RunFile",
+    "form_runs",
+    "external_sort",
+    "merge_run_files",
+]

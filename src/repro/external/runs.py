@@ -1,0 +1,112 @@
+"""Run formation: memory-sized sorted runs spilled to disk.
+
+A :class:`RunFile` wraps one sorted run stored as a raw little-endian
+numpy file (``.npy``), exposing the windowed chunk reader the merge
+passes feed from.  Temporary files are owned by the caller-supplied
+directory (or a ``TemporaryDirectory`` created by
+:func:`repro.external.sort.external_sort`, which cleans up).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import InputError
+from ..validation import check_positive
+from .io_model import IOCounter
+
+__all__ = ["RunFile", "form_runs"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunFile:
+    """One sorted run on disk."""
+
+    path: str
+    length: int
+    dtype: str
+
+    def read_chunks(
+        self, chunk_elements: int, io: IOCounter | None = None
+    ) -> Iterator[np.ndarray]:
+        """Yield the run as sorted chunks of ``chunk_elements``.
+
+        Uses a memory map so only the touched window is resident;
+        charges ``io`` per chunk read.
+        """
+        check_positive(chunk_elements, "chunk_elements")
+        mm = np.load(self.path, mmap_mode="r")
+        for lo in range(0, self.length, chunk_elements):
+            chunk = np.array(mm[lo : lo + chunk_elements])  # materialize window
+            if io is not None:
+                io.charge_read(len(chunk))
+            yield chunk
+
+    def read_all(self) -> np.ndarray:
+        """Whole run (tests / final small outputs only)."""
+        return np.load(self.path)
+
+
+def _write_run(data: np.ndarray, directory: str, io: IOCounter | None) -> RunFile:
+    path = os.path.join(directory, f"run-{uuid.uuid4().hex}.npy")
+    np.save(path, data)
+    if io is not None:
+        io.charge_write(len(data))
+    return RunFile(path=path, length=len(data), dtype=str(data.dtype))
+
+
+def form_runs(
+    data: np.ndarray | Iterable,
+    memory_elements: int,
+    directory: str,
+    *,
+    io: IOCounter | None = None,
+) -> list[RunFile]:
+    """Split ``data`` into sorted runs of at most ``memory_elements``.
+
+    ``data`` may be an array (charged as read from disk, the external
+    model's input cost) or any iterable of scalars/chunks.  Each run is
+    sorted in memory (``np.sort``) and spilled.
+    """
+    check_positive(memory_elements, "memory_elements")
+    if not os.path.isdir(directory):
+        raise InputError(f"run directory {directory!r} does not exist")
+    runs: list[RunFile] = []
+
+    if isinstance(data, np.ndarray):
+        if data.ndim != 1:
+            raise InputError("external sort input must be 1-D")
+        for lo in range(0, len(data), memory_elements):
+            chunk = data[lo : lo + memory_elements]
+            if io is not None:
+                io.charge_read(len(chunk))
+            runs.append(_write_run(np.sort(chunk, kind="mergesort"),
+                                   directory, io))
+        return runs
+
+    buffer: list = []
+    count = 0
+    for item in data:
+        values = np.atleast_1d(np.asarray(item))
+        for v in values:
+            buffer.append(v)
+            count += 1
+            if count >= memory_elements:
+                arr = np.asarray(buffer)
+                if io is not None:
+                    io.charge_read(len(arr))
+                runs.append(_write_run(np.sort(arr, kind="mergesort"),
+                                       directory, io))
+                buffer = []
+                count = 0
+    if buffer:
+        arr = np.asarray(buffer)
+        if io is not None:
+            io.charge_read(len(arr))
+        runs.append(_write_run(np.sort(arr, kind="mergesort"), directory, io))
+    return runs

@@ -1,0 +1,36 @@
+"""SIMT-style blocked merge — the paper's GPU legacy, modeled.
+
+Merge Path's lasting impact is in GPU libraries (moderngpu, CUB,
+Thrust), which apply the diagonal-search partition at *two levels*:
+
+1. **grid level** — one search per tile boundary splits the merge into
+   tiles of ``NV = threads_per_block x items_per_thread`` outputs, each
+   assigned to one thread block;
+2. **block level** — the tile's A/B ranges are staged into shared
+   memory, then each of the block's threads searches its own diagonal
+   *within the tile* and serially merges exactly ``items_per_thread``
+   elements.
+
+This package implements that execution model faithfully enough to
+reason about it on a CPU: :func:`repro.gpu.blocked_merge.blocked_merge`
+produces the identical stable merge while counting the quantities GPU
+authors optimize — global loads, shared-memory traffic, search probes
+per level, and the guaranteed-uniform per-thread work that makes the
+scheme SIMT-friendly (no divergence across threads in steps, only in
+data).
+"""
+
+from .model import GPUSpec, default_gpu
+from .blocked_merge import blocked_merge, plan_tiles, KernelStats, TilePlan
+from .blocked_sort import blocked_sort, SortKernelStats
+
+__all__ = [
+    "GPUSpec",
+    "default_gpu",
+    "blocked_merge",
+    "plan_tiles",
+    "KernelStats",
+    "TilePlan",
+    "blocked_sort",
+    "SortKernelStats",
+]

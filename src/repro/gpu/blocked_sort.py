@@ -1,0 +1,114 @@
+"""SIMT merge sort: CTA-local sorts + rounds of blocked merges.
+
+The complete moderngpu ``mergesort`` shape, continuing
+:mod:`repro.gpu.blocked_merge`:
+
+1. **block-sort kernel** — each thread block loads a tile of ``NV``
+   elements into shared memory and sorts it.  Real kernels sort with a
+   bitonic/odd-even network or a register-blocked mergesort; we model
+   the network (for depth/comparator accounting) and perform the data
+   movement with numpy.
+2. **merge rounds** — ``log2(tiles)`` launches of the blocked merge,
+   doubling run lengths each round.  Every launch is a full grid-level
+   diagonal partition + per-tile two-level merge, exactly as in
+   :func:`~repro.gpu.blocked_merge.blocked_merge`.
+
+:class:`SortKernelStats` accumulates per-launch counters so the cost
+anatomy (how much traffic each round moves, how the tile count decays)
+is visible — the numbers GPU papers put in their kernel tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.bitonic import bitonic_network, comparator_count, network_depth
+from ..validation import as_array
+from .blocked_merge import KernelStats, blocked_merge
+from .model import GPUSpec, default_gpu
+
+__all__ = ["SortKernelStats", "blocked_sort"]
+
+
+@dataclass(slots=True)
+class SortKernelStats:
+    """Counters across the whole sort (block sort + merge rounds)."""
+
+    tiles: int = 0
+    block_sort_comparators: int = 0
+    block_sort_depth: int = 0
+    merge_rounds: int = 0
+    round_stats: list[KernelStats] = field(default_factory=list)
+
+    @property
+    def total_global_loads(self) -> int:
+        return self.tiles_elements + sum(
+            s.global_loads for s in self.round_stats
+        )
+
+    tiles_elements: int = 0
+
+
+def blocked_sort(
+    x,
+    spec: GPUSpec | None = None,
+    *,
+    collect_stats: bool = True,
+) -> tuple[np.ndarray, SortKernelStats]:
+    """Sort with the SIMT execution model; returns (sorted, stats).
+
+    Values-only (not stable — the block sorter is a bitonic network,
+    like early GPU mergesorts; moderngpu later moved to stable
+    register mergesorts).
+    """
+    spec = spec or default_gpu()
+    arr = as_array(x, "x").copy()
+    n = len(arr)
+    stats = SortKernelStats()
+    if n <= 1:
+        return arr, stats
+
+    nv = spec.tile_size
+    tiles = -(-n // nv)
+    stats.tiles = tiles
+    stats.tiles_elements = n
+
+    # --- block-sort launch: each tile sorted in "shared memory" -------
+    net_size = 1 << math.ceil(math.log2(min(nv, max(2, n))))
+    network = bitonic_network(net_size)
+    if collect_stats:
+        stats.block_sort_comparators = tiles * comparator_count(network)
+        stats.block_sort_depth = network_depth(network)
+    runs: list[np.ndarray] = []
+    for t in range(tiles):
+        tile = arr[t * nv : (t + 1) * nv]
+        runs.append(np.sort(tile, kind="mergesort"))
+
+    # --- merge rounds: blocked merges, doubling run lengths ----------
+    while len(runs) > 1:
+        stats.merge_rounds += 1
+        nxt: list[np.ndarray] = []
+        round_totals = KernelStats()
+        for i in range(0, len(runs) - 1, 2):
+            merged, ks = blocked_merge(
+                runs[i], runs[i + 1], spec, check=False,
+                collect_stats=collect_stats,
+            )
+            nxt.append(merged)
+            if collect_stats:
+                round_totals.tiles += ks.tiles
+                round_totals.grid_search_probes += ks.grid_search_probes
+                round_totals.block_search_probes += ks.block_search_probes
+                round_totals.global_loads += ks.global_loads
+                round_totals.shared_loads += ks.shared_loads
+                round_totals.global_stores += ks.global_stores
+                round_totals.thread_steps.extend(ks.thread_steps)
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+        if collect_stats:
+            stats.round_stats.append(round_totals)
+    return runs[0], stats

@@ -1,0 +1,50 @@
+"""Lightweight GPU execution-model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InputError
+
+__all__ = ["GPUSpec", "default_gpu"]
+
+
+@dataclass(frozen=True, slots=True)
+class GPUSpec:
+    """The tuning triple every merge-path GPU kernel is templated on.
+
+    Attributes
+    ----------
+    threads_per_block:
+        CTA width (a multiple of the warp size on real hardware).
+    items_per_thread:
+        ``VT`` in moderngpu's nomenclature: how many outputs one thread
+        merges serially from shared memory.
+    shared_limit_elements:
+        Shared-memory capacity per block, in elements.  The tile's
+        staged A+B window (``NV`` elements) must fit.
+    """
+
+    threads_per_block: int = 128
+    items_per_thread: int = 7
+    shared_limit_elements: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < 1 or self.items_per_thread < 1:
+            raise InputError("threads_per_block and items_per_thread must be >= 1")
+        if self.tile_size > self.shared_limit_elements:
+            raise InputError(
+                f"tile of {self.tile_size} elements exceeds shared memory "
+                f"capacity {self.shared_limit_elements}"
+            )
+
+    @property
+    def tile_size(self) -> int:
+        """``NV``: outputs per block per kernel launch."""
+        return self.threads_per_block * self.items_per_thread
+
+
+def default_gpu() -> GPUSpec:
+    """moderngpu's classic 128x7 tuning."""
+    return GPUSpec(threads_per_block=128, items_per_thread=7,
+                   shared_limit_elements=4096)

@@ -1,0 +1,23 @@
+"""Machine models: hardware specs and the analytic timing model.
+
+The paper's measurements ran on a Dell T610 (two six-core Xeon X5670
+processors).  :mod:`repro.machine.specs` encodes that machine (and a
+Hypercore-like shared-L1 many-core) as data; :mod:`repro.machine.timing`
+prices PRAM operation counts on a spec — a documented roofline model
+(compute throughput vs memory bandwidth, plus the partition's log-term)
+that converts the architecture-independent counts from
+:mod:`repro.pram` into the architecture-specific speedup curves of
+Figure 5.
+"""
+
+from .specs import MachineSpec, dell_t610, hypercore_like, laptop_generic
+from .timing import TimingModel, MergeTimings
+
+__all__ = [
+    "MachineSpec",
+    "dell_t610",
+    "hypercore_like",
+    "laptop_generic",
+    "TimingModel",
+    "MergeTimings",
+]

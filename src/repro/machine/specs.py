@@ -1,0 +1,139 @@
+"""Hardware specifications as data.
+
+Numbers for :func:`dell_t610` follow Section VI of the paper: two Intel
+X5670 processors (6 cores each, hyper-threading and turbo disabled),
+32 KB private L1D, 256 KB private L2, 12 MB shared L3 per socket,
+6.4 GT/s QPI, 12 GB DDR3.  Sustained memory bandwidth is not stated in
+the paper; 24 GB/s per socket is a standard sustained triple-channel
+DDR3 figure for Westmere-EP and is (with the small large-page derate)
+the calibrated constant of the Figure 5 reproduction (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InputError
+
+__all__ = ["MachineSpec", "dell_t610", "hypercore_like", "laptop_generic"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """Static description of a shared-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    sockets, cores_per_socket:
+        Topology; ``total_cores`` is their product.
+    clock_hz:
+        Core clock (turbo disabled, as in the paper's setup).
+    l1d_bytes, l2_bytes:
+        Private per-core cache capacities.
+    l3_bytes:
+        Shared per-socket last-level cache capacity.
+    line_bytes:
+        Cache-line size used by the cache simulator.
+    dram_bw_bytes_s:
+        Sustained DRAM bandwidth *per socket* (memory interleaved across
+        sockets, so total bandwidth scales with socket count).
+    l3_bw_bytes_s:
+        Aggregate bandwidth when the working set fits in L3.
+    bw_droop_per_doubling:
+        Fractional bandwidth loss per doubling of the working set beyond
+        L3 capacity (TLB/page-walk/row-miss effects); produces the
+        paper's mild speedup reduction for the largest arrays.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_hz: float
+    l1d_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    line_bytes: int
+    dram_bw_bytes_s: float
+    l3_bw_bytes_s: float
+    bw_droop_per_doubling: float = 0.01
+
+    def __post_init__(self) -> None:
+        for field_name in ("sockets", "cores_per_socket", "l1d_bytes",
+                           "l2_bytes", "l3_bytes", "line_bytes"):
+            if getattr(self, field_name) < 1:
+                raise InputError(f"{field_name} must be >= 1")
+        if self.clock_hz <= 0 or self.dram_bw_bytes_s <= 0 or self.l3_bw_bytes_s <= 0:
+            raise InputError("rates must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """All physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def l3_total_bytes(self) -> int:
+        """Combined last-level cache across sockets."""
+        return self.sockets * self.l3_bytes
+
+    @property
+    def total_dram_bw_bytes_s(self) -> float:
+        """Aggregate sustained DRAM bandwidth (interleaved allocation)."""
+        return self.sockets * self.dram_bw_bytes_s
+
+
+def dell_t610() -> MachineSpec:
+    """The paper's evaluation platform (Section VI)."""
+    return MachineSpec(
+        name="Dell T610 (2x Xeon X5670)",
+        sockets=2,
+        cores_per_socket=6,
+        clock_hz=2.93e9,
+        l1d_bytes=32 * 1024,
+        l2_bytes=256 * 1024,
+        l3_bytes=12 * 1024 * 1024,
+        line_bytes=64,
+        dram_bw_bytes_s=24e9,
+        l3_bw_bytes_s=120e9,
+        bw_droop_per_doubling=0.03,
+    )
+
+
+def hypercore_like() -> MachineSpec:
+    """A Plurality-Hypercore-like many-core with a shared low-level cache.
+
+    Modeled as one socket of many simple cores sharing a 2 MB cache —
+    the CREW-PRAM-like machine of the paper's Section VI last paragraph,
+    used by the SPM experiments where cache behaviour dominates.
+    """
+    return MachineSpec(
+        name="Hypercore-like shared-cache many-core",
+        sockets=1,
+        cores_per_socket=64,
+        clock_hz=0.5e9,
+        l1d_bytes=2 * 1024 * 1024,  # the shared cache, modeled at L1
+        l2_bytes=2 * 1024 * 1024,
+        l3_bytes=2 * 1024 * 1024,
+        line_bytes=32,
+        dram_bw_bytes_s=8e9,
+        l3_bw_bytes_s=64e9,
+        bw_droop_per_doubling=0.0,
+    )
+
+
+def laptop_generic() -> MachineSpec:
+    """A generic 4-core laptop, for the examples' self-contained runs."""
+    return MachineSpec(
+        name="Generic quad-core laptop",
+        sockets=1,
+        cores_per_socket=4,
+        clock_hz=3.0e9,
+        l1d_bytes=48 * 1024,
+        l2_bytes=1024 * 1024,
+        l3_bytes=8 * 1024 * 1024,
+        line_bytes=64,
+        dram_bw_bytes_s=30e9,
+        l3_bw_bytes_s=150e9,
+        bw_droop_per_doubling=0.01,
+    )

@@ -1,0 +1,184 @@
+"""Analytic timing model: PRAM counts → seconds on a MachineSpec.
+
+A documented roofline model.  For a merge of ``N`` output elements on
+``p`` cores of a :class:`~repro.machine.specs.MachineSpec`:
+
+``T(p) = max(T_compute(p), T_memory(p)) + T_partition(p)``
+
+* ``T_compute(p)`` — the slowest processor's counted PRAM cycles times
+  ``seconds_per_op``.  Counted cycles come from
+  :func:`repro.pram.merge_programs.counted_parallel_merge` (exact for
+  the data), so load imbalance — were there any — would show up here.
+* ``T_memory(p)`` — streamed bytes over the effective bandwidth.  A
+  merge reads each input element once and writes each output element
+  once (``traffic_bytes_per_element``, default 12 B for 32-bit ints:
+  4 read + 4 read + 4 write, hardware prefetch assumed perfect as the
+  paper's Section VI does).  Effective bandwidth is the L3 figure while
+  the working set (``4·|A|·itemsize``, the paper's own accounting)
+  fits in combined L3, else the DRAM figure derated by
+  ``bw_droop_per_doubling`` per doubling beyond L3 — the mild,
+  size-dependent term that reproduces Figure 5's droop for 64M/256M.
+* ``T_partition(p)`` — the diagonal binary searches: depth
+  ``log2(min(|A|,|B|))`` probes, each a dependent (unprefetchable) pair
+  of loads priced at DRAM latency.  This is the ``+ log N`` term of the
+  paper's time complexity, and is why single-thread Merge Path trails a
+  raw sequential merge by a few percent (the REM6PCT experiment).
+
+The model has one calibrated constant (sustained DRAM bandwidth, on the
+spec) and one structural constant (``cycles_per_op``); everything else
+is paper- or datasheet-derived.  EXPERIMENTS.md records the resulting
+paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InputError
+from ..validation import check_positive
+from .specs import MachineSpec
+
+__all__ = ["TimingModel", "MergeTimings"]
+
+
+@dataclass(frozen=True, slots=True)
+class MergeTimings:
+    """Per-phase modeled times (seconds) for one merge configuration."""
+
+    p: int
+    compute_s: float
+    memory_s: float
+    partition_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Roofline total: bound by the slower of compute and memory,
+        plus the serial partition latency."""
+        return max(self.compute_s, self.memory_s) + self.partition_s
+
+    @property
+    def bound(self) -> str:
+        """Which roof binds: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+class TimingModel:
+    """Prices merge operation counts on a machine spec.
+
+    Parameters
+    ----------
+    spec:
+        Target machine.
+    cycles_per_op:
+        CPU cycles one counted PRAM cycle costs (covers address
+        arithmetic, branch, loop overhead around each read/compare/
+        write).  2.5 models a scalar in-order-ish merge loop at ~10
+        cycles per merged element, consistent with measured scalar
+        merges on Westmere.
+    element_bytes:
+        Input element size (4 for the paper's 32-bit integers).
+    dram_latency_s:
+        Latency of one dependent DRAM access (binary-search probes are
+        pointer-chase-like).
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        *,
+        cycles_per_op: float = 2.5,
+        element_bytes: int = 4,
+        dram_latency_s: float = 90e-9,
+    ) -> None:
+        if cycles_per_op <= 0 or dram_latency_s < 0:
+            raise InputError("cycles_per_op must be > 0 and latency >= 0")
+        check_positive(element_bytes, "element_bytes")
+        self.spec = spec
+        self.cycles_per_op = cycles_per_op
+        self.element_bytes = element_bytes
+        self.dram_latency_s = dram_latency_s
+
+    # ------------------------------------------------------------------
+    @property
+    def seconds_per_op(self) -> float:
+        """Wall seconds per counted PRAM cycle on one core."""
+        return self.cycles_per_op / self.spec.clock_hz
+
+    def working_set_bytes(self, a_len: int, b_len: int) -> int:
+        """Paper's accounting: ``4 · |A| · |type|`` for |A| == |B|;
+        generally inputs + output."""
+        return (2 * (a_len + b_len)) * self.element_bytes
+
+    def effective_bandwidth(self, working_set_bytes: int) -> float:
+        """Aggregate streaming bandwidth for a given working set."""
+        spec = self.spec
+        if working_set_bytes <= spec.l3_total_bytes:
+            return spec.l3_bw_bytes_s
+        doublings = math.log2(working_set_bytes / spec.l3_total_bytes)
+        derate = 1.0 + spec.bw_droop_per_doubling * doublings
+        return spec.total_dram_bw_bytes_s / derate
+
+    # ------------------------------------------------------------------
+    def merge_timings(
+        self,
+        a_len: int,
+        b_len: int,
+        p: int,
+        *,
+        max_cycles_per_processor: float | None = None,
+        search_depth: int | None = None,
+    ) -> MergeTimings:
+        """Model one parallel merge.
+
+        ``max_cycles_per_processor`` defaults to the perfectly balanced
+        ideal (``(a_len + b_len) / p`` merge steps at 4 counted cycles
+        each); pass the exact value from
+        :class:`~repro.pram.merge_programs.CountedMerge` when data-exact
+        counts are wanted.
+        """
+        check_positive(p, "p")
+        if p > self.spec.total_cores:
+            raise InputError(
+                f"p={p} exceeds {self.spec.name!r} core count "
+                f"{self.spec.total_cores}"
+            )
+        n = a_len + b_len
+        if max_cycles_per_processor is None:
+            # 4 counted cycles per two-sided merge step (see
+            # repro.pram.merge_programs.MERGE_CYCLES_PER_ELEMENT).
+            max_cycles_per_processor = 4.0 * math.ceil(n / p)
+        compute_s = max_cycles_per_processor * self.seconds_per_op
+
+        # Per output element: one input element read (4 B), plus the
+        # output store with its write-allocate fill (4 + 4 B).
+        traffic = 3 * n * self.element_bytes
+        ws = self.working_set_bytes(a_len, b_len)
+        memory_s = traffic / self.effective_bandwidth(ws)
+
+        if search_depth is None:
+            search_depth = (
+                int(math.ceil(math.log2(min(a_len, b_len) + 1)))
+                if min(a_len, b_len) > 0
+                else 0
+            )
+        # Two searches per processor (own start + own end), each probe a
+        # dependent load pair; searches across processors overlap, so
+        # latency is paid once, not p times.
+        partition_s = (0 if p == 1 else 2 * search_depth) * self.dram_latency_s
+        return MergeTimings(
+            p=p, compute_s=compute_s, memory_s=memory_s, partition_s=partition_s
+        )
+
+    def speedup(self, a_len: int, b_len: int, p: int) -> float:
+        """Modeled speedup of Algorithm 1 vs its own single-thread run —
+        the exact quantity Figure 5 plots."""
+        t1 = self.merge_timings(a_len, b_len, 1).total_s
+        tp = self.merge_timings(a_len, b_len, p).total_s
+        return t1 / tp
+
+    def speedup_series(
+        self, a_len: int, b_len: int, ps: list[int]
+    ) -> list[tuple[int, float]]:
+        """Speedup at each processor count, as (p, speedup) pairs."""
+        return [(p, self.speedup(a_len, b_len, p)) for p in ps]

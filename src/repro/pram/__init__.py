@@ -1,0 +1,60 @@
+"""CREW PRAM simulator substrate.
+
+The paper analyzes Merge Path on a CREW PRAM: p synchronous processors
+sharing a flat memory, where concurrent reads of one address are legal
+but concurrent writes are not.  This package provides an executable
+model of that machine:
+
+* :mod:`repro.pram.memory` — shared memory with per-cycle access
+  auditing that *enforces* the EREW/CREW/CRCW contract (a CREW
+  violation raises, which is how the tests prove Algorithm 1 is
+  synchronization-free).
+* :mod:`repro.pram.machine` — the lockstep executor: each cycle, every
+  live processor issues exactly one operation (read / write / compute);
+  writes commit synchronously at end of cycle.
+* :mod:`repro.pram.program` — the operation vocabulary and program type.
+* :mod:`repro.pram.metrics` — time (cycles), work (operation total),
+  per-processor step counts.
+* :mod:`repro.pram.merge_programs` — Merge Path, sequential merge and
+  the naive split expressed as PRAM programs, plus the closed-form
+  "counted" mode used at paper scale.
+"""
+
+from .program import Read, Write, Compute, Program
+from .memory import AccessMode, SharedMemory
+from .machine import PRAMMachine
+from .metrics import RunMetrics
+from .sort_programs import run_parallel_merge_sort_pram, SortRunMetrics
+from .timeline import TimelineRecorder, TracingPRAMMachine, render_timeline
+from .segmented_programs import run_segmented_merge_pram
+from .merge_programs import (
+    merge_path_program,
+    sequential_merge_program,
+    run_parallel_merge_pram,
+    run_sequential_merge_pram,
+    counted_parallel_merge,
+    CountedMerge,
+)
+
+__all__ = [
+    "Read",
+    "Write",
+    "Compute",
+    "Program",
+    "AccessMode",
+    "SharedMemory",
+    "PRAMMachine",
+    "RunMetrics",
+    "merge_path_program",
+    "sequential_merge_program",
+    "run_parallel_merge_pram",
+    "run_sequential_merge_pram",
+    "counted_parallel_merge",
+    "CountedMerge",
+    "run_parallel_merge_sort_pram",
+    "SortRunMetrics",
+    "TimelineRecorder",
+    "TracingPRAMMachine",
+    "render_timeline",
+    "run_segmented_merge_pram",
+]

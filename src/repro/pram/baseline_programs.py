@@ -1,0 +1,92 @@
+"""Baseline partitioners executed on the lockstep PRAM.
+
+Section V's latency argument is about *machine time*: a partitioner
+that hands one processor ``2N/p`` elements makes the whole barrier wait
+for it.  :func:`run_partitioned_merge_pram` runs the merge phase of any
+:class:`~repro.types.Partition` — Merge Path's, Shiloach–Vishkin's,
+anyone's — on the lockstep machine, so the LB experiment can report the
+measured cycle ratio, not just segment sizes.  (Partitioning cost is
+excluded on purpose: the comparison isolates the load-balance effect
+the paper's "2X increase in latency" sentence is about.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Partition, Segment
+from ..validation import as_array, check_mergeable
+from .machine import PRAMMachine
+from .memory import AccessMode, SharedMemory
+from .metrics import RunMetrics
+from .program import Compute, Program, Read, Write
+
+__all__ = ["segment_merge_program", "run_partitioned_merge_pram"]
+
+
+def segment_merge_program(seg: Segment) -> Program:
+    """Two-pointer merge of one segment as a PRAM program.
+
+    Reads shared ``A``/``B``, writes its disjoint ``S`` range — the
+    merge phase of Algorithm 1 (and of every baseline, which differ
+    only in where the segment boundaries lie).
+    """
+
+    def prog() -> Program:
+        i, j, k = seg.a_start, seg.b_start, seg.out_start
+        while i < seg.a_end and j < seg.b_end:
+            av = yield Read("A", i)
+            bv = yield Read("B", j)
+            yield Compute()
+            if av <= bv:
+                yield Write("S", k, av)
+                i += 1
+            else:
+                yield Write("S", k, bv)
+                j += 1
+            k += 1
+        while i < seg.a_end:
+            av = yield Read("A", i)
+            yield Write("S", k, av)
+            i += 1
+            k += 1
+        while j < seg.b_end:
+            bv = yield Read("B", j)
+            yield Write("S", k, bv)
+            j += 1
+            k += 1
+
+    return prog()
+
+
+def run_partitioned_merge_pram(
+    a: np.ndarray,
+    b: np.ndarray,
+    partition: Partition,
+    *,
+    mode: AccessMode = AccessMode.CREW,
+) -> tuple[np.ndarray, RunMetrics]:
+    """Execute a partition's merge phase on the lockstep PRAM.
+
+    Returns ``(merged, metrics)``; ``metrics.time`` is the barrier time
+    (slowest processor), the quantity Section V's latency comparison is
+    about.  Works for any structurally valid partition — including the
+    imbalanced Shiloach–Vishkin one — because each program only touches
+    its own output range.
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    mem = SharedMemory(mode)
+    mem.alloc("A", a)
+    mem.alloc("B", b)
+    mem.alloc("S", np.zeros(partition.total_length,
+                            dtype=np.promote_types(a.dtype, b.dtype)))
+    machine = PRAMMachine(mem)
+    programs = [
+        segment_merge_program(seg) for seg in partition.segments if seg.length
+    ]
+    if not programs:
+        return mem.array("S").copy(), RunMetrics(steps_per_processor=[0])
+    metrics = machine.run(programs)
+    return mem.array("S").copy(), metrics

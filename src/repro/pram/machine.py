@@ -1,0 +1,130 @@
+"""Lockstep PRAM executor.
+
+Runs a set of per-processor generator programs in synchronous cycles:
+every live program issues exactly one operation per cycle; the shared
+memory audits the batch against the access mode, serves reads from the
+pre-cycle state and commits writes at cycle end.  Programs that finish
+simply stop issuing; the run ends when all have halted.
+
+This is deliberately a *faithful* (slow) model — it executes one Python
+generator step per processor-cycle — used for correctness proofs and
+complexity measurements at small N.  Paper-scale runs use the
+closed-form counted mode in :mod:`repro.pram.merge_programs`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import DeadlockError, InputError
+from .memory import SharedMemory
+from .metrics import RunMetrics
+from .program import Compute, Op, Program, Read, Write
+
+__all__ = ["PRAMMachine"]
+
+
+class PRAMMachine:
+    """A p-processor synchronous PRAM over a :class:`SharedMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The shared memory (carries the access mode).
+    max_cycles:
+        Safety valve: abort with :class:`~repro.errors.DeadlockError`
+        if the run exceeds this many cycles (default 50 million).
+    """
+
+    def __init__(self, memory: SharedMemory, max_cycles: int = 50_000_000) -> None:
+        self.memory = memory
+        self.max_cycles = max_cycles
+
+    def run(self, programs: Sequence[Program]) -> RunMetrics:
+        """Execute the programs to completion in lockstep.
+
+        Returns
+        -------
+        RunMetrics
+            time / work / per-processor counters for the run.
+        """
+        if not programs:
+            raise InputError("need at least one program")
+        p = len(programs)
+        metrics = RunMetrics(steps_per_processor=[0] * p)
+
+        # Prime every generator to obtain its first pending operation.
+        pending: list[Op | None] = []
+        live: list[Program | None] = list(programs)
+        for pid, prog in enumerate(programs):
+            try:
+                op = next(prog)
+                pending.append(self._validate_op(op, pid))
+            except StopIteration:
+                live[pid] = None
+                pending.append(None)
+
+        # Expand Compute(units=k) into k single-cycle computes.
+        compute_debt = [0] * p
+        for pid, op in enumerate(pending):
+            if isinstance(op, Compute) and op.units > 1:
+                compute_debt[pid] = op.units - 1
+                pending[pid] = Compute()
+
+        while any(prog is not None for prog in live):
+            if metrics.cycles >= self.max_cycles:
+                raise DeadlockError(
+                    f"run exceeded {self.max_cycles} cycles; "
+                    "suspect a non-terminating program"
+                )
+            reads: dict[int, tuple[str, int]] = {}
+            writes: dict[int, tuple[str, int, Any]] = {}
+            for pid, op in enumerate(pending):
+                if op is None:
+                    continue
+                if isinstance(op, Read):
+                    reads[pid] = (op.array, op.index)
+                elif isinstance(op, Write):
+                    writes[pid] = (op.array, op.index, op.value)
+                # Compute ops generate no memory traffic.
+
+            results = self.memory.execute_cycle(reads, writes)
+            metrics.cycles += 1
+            metrics.reads += len(reads)
+            metrics.writes += len(writes)
+
+            # Advance every live program with its result (None for
+            # writes/computes), collecting next cycle's operations.
+            for pid, prog in enumerate(live):
+                if prog is None:
+                    continue
+                metrics.steps_per_processor[pid] += 1
+                if isinstance(pending[pid], Compute):
+                    metrics.computes += 1
+                    if compute_debt[pid] > 0:
+                        compute_debt[pid] -= 1
+                        continue  # stay on the same Compute op
+                try:
+                    nxt = prog.send(results.get(pid))
+                except StopIteration:
+                    live[pid] = None
+                    pending[pid] = None
+                    continue
+                nxt = self._validate_op(nxt, pid)
+                if isinstance(nxt, Compute) and nxt.units > 1:
+                    compute_debt[pid] = nxt.units - 1
+                    nxt = Compute()
+                pending[pid] = nxt
+        metrics.concurrent_read_events = self.memory.concurrent_read_events
+        return metrics
+
+    @staticmethod
+    def _validate_op(op: object, pid: int) -> Op:
+        if not isinstance(op, (Read, Write, Compute)):
+            raise InputError(
+                f"processor {pid} yielded {op!r}; programs must yield "
+                "Read/Write/Compute operations"
+            )
+        if isinstance(op, Compute) and op.units < 1:
+            raise InputError(f"Compute.units must be >= 1, got {op.units}")
+        return op

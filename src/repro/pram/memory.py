@@ -1,0 +1,179 @@
+"""Shared PRAM memory with access-mode enforcement.
+
+The memory owns named 1-D arrays (numpy-backed).  During each machine
+cycle it collects every processor's access and validates the
+concurrent-access rules of the selected :class:`AccessMode`:
+
+* ``EREW`` — no two processors may touch (read *or* write) one address
+  in the same cycle.
+* ``CREW`` — concurrent reads allowed; an address written this cycle
+  may be touched by no other processor (the paper's model).
+* ``CRCW_COMMON`` — concurrent writes allowed only if every writer
+  stores the same value.
+
+Violations raise :class:`~repro.errors.MemoryConflictError` naming the
+address and processors — the mechanism by which the test suite proves
+Algorithm 1 needs no synchronization (it runs clean under CREW) and
+quantifies what EREW would cost (the partition search provokes
+concurrent reads).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import InputError, MemoryConflictError
+
+__all__ = ["AccessMode", "SharedMemory"]
+
+
+class AccessMode(enum.Enum):
+    """Concurrent-access contract enforced per cycle."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW_COMMON = "CRCW_COMMON"
+
+
+class SharedMemory:
+    """Named-array shared memory with per-cycle conflict auditing."""
+
+    def __init__(self, mode: AccessMode = AccessMode.CREW) -> None:
+        self.mode = mode
+        self._arrays: dict[str, np.ndarray] = {}
+        #: Cumulative counts for metrics.
+        self.total_reads = 0
+        self.total_writes = 0
+        #: Number of addresses that ever saw a legal concurrent read
+        #: (interesting because the paper remarks such sharing is rare).
+        self.concurrent_read_events = 0
+
+    # ------------------------------------------------------------------
+    # Array management
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, data_or_size: np.ndarray | int) -> None:
+        """Register array ``name``, either copying ``data`` or zero-filled."""
+        if name in self._arrays:
+            raise InputError(f"array {name!r} already allocated")
+        if isinstance(data_or_size, (int, np.integer)):
+            self._arrays[name] = np.zeros(int(data_or_size))
+        else:
+            self._arrays[name] = np.array(data_or_size, copy=True)
+
+    def array(self, name: str) -> np.ndarray:
+        """Direct (host-side) view of an array, for setup and verification."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise InputError(f"no array named {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._arrays)
+
+    def _check_bounds(self, array: str, index: int) -> None:
+        arr = self.array(array)
+        if not 0 <= index < len(arr):
+            raise InputError(
+                f"address {array}[{index}] out of bounds (len {len(arr)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+    def execute_cycle(
+        self,
+        reads: Mapping[int, tuple[str, int]],
+        writes: Mapping[int, tuple[str, int, Any]],
+    ) -> dict[int, Any]:
+        """Apply one lockstep cycle of accesses.
+
+        Parameters
+        ----------
+        reads:
+            ``pid -> (array, index)`` for every processor reading.
+        writes:
+            ``pid -> (array, index, value)`` for every processor writing.
+
+        Returns
+        -------
+        dict
+            ``pid -> value`` read results, taken from the memory state
+            *before* this cycle's writes commit (synchronous PRAM
+            semantics).
+
+        Raises
+        ------
+        MemoryConflictError
+            On any violation of the configured access mode.
+        """
+        readers: dict[tuple[str, int], list[int]] = defaultdict(list)
+        writers: dict[tuple[str, int], list[int]] = defaultdict(list)
+        for pid, (arr, idx) in reads.items():
+            self._check_bounds(arr, idx)
+            readers[(arr, idx)].append(pid)
+        for pid, (arr, idx, _val) in writes.items():
+            self._check_bounds(arr, idx)
+            writers[(arr, idx)].append(pid)
+
+        self._audit(readers, writers, writes)
+
+        # Reads observe pre-cycle state.
+        results = {
+            pid: self._arrays[arr][idx] for pid, (arr, idx) in reads.items()
+        }
+        # Writes commit together at end of cycle.
+        for _pid, (arr, idx, val) in writes.items():
+            self._arrays[arr][idx] = val
+
+        self.total_reads += len(reads)
+        self.total_writes += len(writes)
+        self.concurrent_read_events += sum(
+            1 for pids in readers.values() if len(pids) > 1
+        )
+        return results
+
+    def _audit(
+        self,
+        readers: Mapping[tuple[str, int], list[int]],
+        writers: Mapping[tuple[str, int], list[int]],
+        writes: Mapping[int, tuple[str, int, Any]],
+    ) -> None:
+        """Raise on the first access-rule violation for this cycle."""
+        if self.mode is AccessMode.EREW:
+            for addr, pids in readers.items():
+                others = writers.get(addr, [])
+                if len(pids) + len(others) > 1:
+                    raise MemoryConflictError(
+                        "EREW access", addr, tuple(pids + others)
+                    )
+            for addr, pids in writers.items():
+                if len(pids) > 1 or addr in readers:
+                    raise MemoryConflictError(
+                        "EREW write",
+                        addr,
+                        tuple(pids + readers.get(addr, [])),
+                    )
+            return
+
+        # CREW and CRCW share the read-write exclusion rule.
+        for addr, wpids in writers.items():
+            rpids = readers.get(addr, [])
+            if rpids:
+                raise MemoryConflictError(
+                    "read-write", addr, tuple(wpids + rpids)
+                )
+            if len(wpids) > 1:
+                if self.mode is AccessMode.CREW:
+                    raise MemoryConflictError(
+                        "CREW write", addr, tuple(wpids)
+                    )
+                # CRCW_COMMON: all written values must agree.
+                vals = {repr(writes[pid][2]) for pid in wpids}
+                if len(vals) > 1:
+                    raise MemoryConflictError(
+                        "CRCW-common disagreement", addr, tuple(wpids)
+                    )

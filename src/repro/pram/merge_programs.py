@@ -1,0 +1,312 @@
+"""Merge algorithms expressed as PRAM programs, plus counted mode.
+
+Three layers:
+
+* :func:`merge_path_program` / :func:`sequential_merge_program` —
+  Algorithm 1 and the plain sequential merge written in the PRAM
+  operation vocabulary, cycle-accurate, for the lockstep machine.
+* :func:`run_parallel_merge_pram` / :func:`run_sequential_merge_pram` —
+  convenience drivers that allocate memory, run the machine and return
+  the merged output together with :class:`~repro.pram.metrics.RunMetrics`.
+* :func:`counted_parallel_merge` — closed-form per-processor cycle
+  counts for Algorithm 1 *without* stepping the machine.  The formula is
+  exact for the programs above (validated against the lockstep machine
+  in the test suite) and is what lets the Figure 5 experiment run at
+  256M elements: counting replaces simulating.
+
+Cycle model of Algorithm 1 per processor (matching the generators):
+
+* binary search: 2 reads + 1 compute per probe (read A[mid], read
+  B[d-1-mid], compare);
+* merge loop: per output element, 2 reads + 1 compute + 1 write while
+  both sub-arrays are non-empty, 1 read + 1 write during the tail copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.merge_path import diagonal_bounds, partition_merge_path
+from ..types import Partition
+from ..validation import as_array, check_mergeable, check_positive
+from .machine import PRAMMachine
+from .memory import AccessMode, SharedMemory
+from .metrics import RunMetrics
+from .program import Compute, Program, Read, Write
+
+__all__ = [
+    "merge_path_program",
+    "sequential_merge_program",
+    "run_parallel_merge_pram",
+    "run_sequential_merge_pram",
+    "counted_parallel_merge",
+    "CountedMerge",
+    "SEARCH_CYCLES_PER_PROBE",
+    "MERGE_CYCLES_PER_ELEMENT",
+    "TAIL_CYCLES_PER_ELEMENT",
+]
+
+#: Cycles one binary-search probe costs (2 reads + 1 compare).
+SEARCH_CYCLES_PER_PROBE = 3
+#: Cycles one two-sided merge step costs (2 reads + 1 compare + 1 write).
+MERGE_CYCLES_PER_ELEMENT = 4
+#: Cycles one exhausted-tail copy step costs (1 read + 1 write).
+TAIL_CYCLES_PER_ELEMENT = 2
+
+
+def merge_path_program(
+    pid: int, p: int, a_len: int, b_len: int
+) -> Program:
+    """Algorithm 1 for processor ``pid`` of ``p`` as a PRAM program.
+
+    Steps 1–3 of the paper's listing: compute the starting diagonal,
+    binary-search its merge-path intersection (reading shared ``A`` and
+    ``B``), then run the sequential merge for the segment, writing the
+    shared output ``S``.  Note every processor reads *shared* arrays and
+    writes a *disjoint* output range — exactly the access pattern whose
+    CREW-cleanliness the simulator verifies.
+    """
+    n = a_len + b_len
+    d_start = (pid * n) // p  # step 1: DiagonalNum (0-based)
+    d_end = ((pid + 1) * n) // p
+
+    def search(d: int):
+        """Binary search of the merge path / diagonal-d intersection."""
+        lo, hi = diagonal_bounds(d, a_len, b_len)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            av = yield Read("A", mid)
+            bv = yield Read("B", d - 1 - mid)
+            yield Compute()  # the comparison
+            if av <= bv:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def prog() -> Program:
+        # Step 2: find own start; the end boundary is the next
+        # processor's start, recomputed locally (no communication, at
+        # the cost of the small duplicated search the paper accepts).
+        i0 = yield from search(d_start)
+        j0 = d_start - i0
+        if d_end >= n:
+            i1, j1 = a_len, b_len
+        else:
+            i1 = yield from search(d_end)
+            j1 = d_end - i1
+        # Step 3: sequential merge of A[i0:i1] with B[j0:j1] into
+        # S[d_start:d_end].
+        i, j, k = i0, j0, d_start
+        while i < i1 and j < j1:
+            av = yield Read("A", i)
+            bv = yield Read("B", j)
+            yield Compute()
+            if av <= bv:
+                yield Write("S", k, av)
+                i += 1
+            else:
+                yield Write("S", k, bv)
+                j += 1
+            k += 1
+        while i < i1:
+            av = yield Read("A", i)
+            yield Write("S", k, av)
+            i += 1
+            k += 1
+        while j < j1:
+            bv = yield Read("B", j)
+            yield Write("S", k, bv)
+            j += 1
+            k += 1
+
+    return prog()
+
+
+def sequential_merge_program(a_len: int, b_len: int) -> Program:
+    """Plain one-processor merge as a PRAM program (the baseline)."""
+
+    def prog() -> Program:
+        i = j = k = 0
+        while i < a_len and j < b_len:
+            av = yield Read("A", i)
+            bv = yield Read("B", j)
+            yield Compute()
+            if av <= bv:
+                yield Write("S", k, av)
+                i += 1
+            else:
+                yield Write("S", k, bv)
+                j += 1
+            k += 1
+        while i < a_len:
+            av = yield Read("A", i)
+            yield Write("S", k, av)
+            i += 1
+            k += 1
+        while j < b_len:
+            bv = yield Read("B", j)
+            yield Write("S", k, bv)
+            j += 1
+            k += 1
+
+    return prog()
+
+
+def _setup_memory(a: np.ndarray, b: np.ndarray, mode: AccessMode) -> SharedMemory:
+    mem = SharedMemory(mode)
+    mem.alloc("A", a)
+    mem.alloc("B", b)
+    out_dtype = np.promote_types(a.dtype, b.dtype)
+    mem.alloc("S", np.zeros(len(a) + len(b), dtype=out_dtype))
+    return mem
+
+
+def run_parallel_merge_pram(
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int,
+    *,
+    mode: AccessMode = AccessMode.CREW,
+) -> tuple[np.ndarray, RunMetrics]:
+    """Run Algorithm 1 on the lockstep PRAM and return (merged, metrics)."""
+    check_positive(p, "p")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    mem = _setup_memory(a, b, mode)
+    machine = PRAMMachine(mem)
+    programs = [merge_path_program(pid, p, len(a), len(b)) for pid in range(p)]
+    metrics = machine.run(programs)
+    return mem.array("S").copy(), metrics
+
+
+def run_sequential_merge_pram(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, RunMetrics]:
+    """Run the sequential merge on the PRAM (p = 1 baseline)."""
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    check_mergeable(a, b)
+    mem = _setup_memory(a, b, AccessMode.CREW)
+    machine = PRAMMachine(mem)
+    metrics = machine.run([sequential_merge_program(len(a), len(b))])
+    return mem.array("S").copy(), metrics
+
+
+@dataclass(frozen=True, slots=True)
+class CountedMerge:
+    """Closed-form Algorithm 1 cycle counts (no simulation).
+
+    ``search_cycles[k]`` and ``merge_cycles[k]`` are processor ``k``'s
+    cycles in the two phases; time is ``max`` of the sums, work their
+    grand total — identical definitions to the lockstep machine.
+    """
+
+    partition: Partition
+    search_cycles: tuple[int, ...]
+    merge_cycles: tuple[int, ...]
+
+    @property
+    def per_processor(self) -> tuple[int, ...]:
+        """Total cycles per processor."""
+        return tuple(
+            s + m for s, m in zip(self.search_cycles, self.merge_cycles)
+        )
+
+    @property
+    def time(self) -> int:
+        """PRAM time: slowest processor's cycle count."""
+        return max(self.per_processor)
+
+    @property
+    def work(self) -> int:
+        """PRAM work: all processors' cycles summed."""
+        return sum(self.per_processor)
+
+
+def _search_probe_count(a: np.ndarray, b: np.ndarray, d: int) -> int:
+    """Exact probe count of the program's binary search on diagonal d."""
+    lo, hi = diagonal_bounds(d, len(a), len(b))
+    probes = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        probes += 1
+        if a[mid] <= b[d - 1 - mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return probes
+
+
+def counted_parallel_merge(a: np.ndarray, b: np.ndarray, p: int) -> CountedMerge:
+    """Count Algorithm 1's cycles per processor without simulating.
+
+    Runs the real partition (so the segment shapes — and therefore the
+    two-sided vs tail-copy mix — are data-exact), then prices each
+    processor's phases with the documented cycle model.  Agreement with
+    the lockstep machine is asserted by ``tests/pram``.
+    """
+    check_positive(p, "p")
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    n = len(a) + len(b)
+
+    partition = partition_merge_path(a, b, p, check=False)
+    search_cycles = []
+    merge_cycles = []
+    for pid, seg in enumerate(partition.segments):
+        d_start = (pid * n) // p
+        d_end = ((pid + 1) * n) // p
+        probes = _search_probe_count(a, b, d_start) if 0 < d_start < n else 0
+        if 0 < d_end < n:
+            probes += _search_probe_count(a, b, d_end)
+        # How many merge steps run two-sided vs as tail copy depends on
+        # where the segment's path hits an input edge; compute exactly.
+        two_sided = _two_sided_steps(a, b, seg)
+        tail = seg.length - two_sided
+        search_cycles.append(probes * SEARCH_CYCLES_PER_PROBE)
+        merge_cycles.append(
+            two_sided * MERGE_CYCLES_PER_ELEMENT + tail * TAIL_CYCLES_PER_ELEMENT
+        )
+    return CountedMerge(
+        partition=partition,
+        search_cycles=tuple(search_cycles),
+        merge_cycles=tuple(merge_cycles),
+    )
+
+
+def _two_sided_steps(a: np.ndarray, b: np.ndarray, seg) -> int:
+    """Output elements the segment produces while both inputs are live.
+
+    The two-pointer loop exits once either sub-array is exhausted; the
+    number of two-sided steps is the path length until the segment's
+    path first reaches its own A- or B-boundary.  That point is the
+    merge-path intersection with the *rectangle edge*, found with the
+    same O(log) search on the smaller dimension.
+    """
+    la = seg.a_len
+    lb = seg.b_len
+    if la == 0 or lb == 0:
+        return 0
+    sub_a = a[seg.a_start : seg.a_end]
+    sub_b = b[seg.b_start : seg.b_end]
+    # Binary search the largest t such that after t path steps inside
+    # the segment, neither input is exhausted.  Equivalent formulation:
+    # steps until exhaustion = position where the path meets i==la or
+    # j==lb; path point at local diagonal d is monotone in d, so bisect.
+    lo, hi = 0, la + lb
+    from ..core.merge_path import diagonal_intersection
+
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        pt = diagonal_intersection(sub_a, sub_b, mid)
+        if pt.i < la and pt.j < lb:
+            lo = mid
+        else:
+            hi = mid - 1
+    # lo = last diagonal with both sides strictly unfinished; the
+    # two-pointer loop also executes the step that exhausts one side.
+    return min(lo + 1, la + lb)

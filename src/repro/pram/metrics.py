@@ -1,0 +1,68 @@
+"""Run metrics for PRAM executions.
+
+The two complexity measures of the paper's Section V:
+
+* **time** — number of lockstep cycles until the last processor halts
+  (elapsed time on the abstract machine);
+* **work** — total operations executed across processors (what a single
+  processor would need; parallelization must not inflate it).
+
+Per-processor step counts are kept so load balance (Corollary 7) can be
+checked directly: for Merge Path, ``max(steps) - min(steps)`` stays
+within the partition's ±1 segment-length slack plus the log-factor
+search-depth variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass(slots=True)
+class RunMetrics:
+    """Aggregated counters from one PRAM run."""
+
+    #: Cycles each processor was active (issued an operation).
+    steps_per_processor: list[int] = field(default_factory=list)
+    #: Total lockstep cycles until every program finished.
+    cycles: int = 0
+    reads: int = 0
+    writes: int = 0
+    computes: int = 0
+    #: Cycles in which at least two processors legally read one address.
+    concurrent_read_events: int = 0
+
+    @property
+    def p(self) -> int:
+        """Number of processors in the run."""
+        return len(self.steps_per_processor)
+
+    @property
+    def time(self) -> int:
+        """PRAM time: lockstep cycles (== max active steps once all halt)."""
+        return self.cycles
+
+    @property
+    def work(self) -> int:
+        """PRAM work: total operations across processors."""
+        return sum(self.steps_per_processor)
+
+    @property
+    def speedup_vs_work(self) -> float:
+        """work / time — parallel speedup relative to one processor
+        executing the same operations back to back."""
+        return self.work / self.time if self.time else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by processor count (1.0 == perfect scaling)."""
+        return self.speedup_vs_work / self.p if self.p else 1.0
+
+    @property
+    def load_imbalance(self) -> int:
+        """max − min active steps across processors."""
+        if not self.steps_per_processor:
+            return 0
+        return max(self.steps_per_processor) - min(self.steps_per_processor)

@@ -1,0 +1,59 @@
+"""PRAM operation vocabulary and program representation.
+
+A PRAM *program* is a Python generator: each ``yield`` hands the machine
+exactly one operation to execute in the current cycle, and (for reads)
+the machine sends the read value back as the result of the ``yield``
+expression.  This turns the paper's per-processor pseudocode into
+ordinary sequential Python whose every memory touch is visible to the
+lockstep executor and the conflict auditor:
+
+.. code-block:: python
+
+    def prog(pid):
+        v = yield Read("A", 3)      # cycle 1: read A[3]
+        yield Compute()              # cycle 2: one local ALU step
+        yield Write("S", 0, v + 1)  # cycle 3: write S[0]
+
+Addresses are ``(array_name, index)`` pairs rather than raw integers —
+semantically identical for conflict analysis, and far easier to audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Union
+
+__all__ = ["Read", "Write", "Compute", "Op", "Program"]
+
+
+@dataclass(frozen=True, slots=True)
+class Read:
+    """Read ``array[index]``; the value arrives as the yield's result."""
+
+    array: str
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class Write:
+    """Write ``value`` to ``array[index]``; commits at end of cycle."""
+
+    array: str
+    index: int
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """One cycle of local computation (no memory traffic).
+
+    ``units`` > 1 is shorthand for that many consecutive compute cycles.
+    """
+
+    units: int = 1
+
+
+Op = Union[Read, Write, Compute]
+
+#: A PRAM program: a generator yielding ops and receiving read values.
+Program = Generator[Op, Any, None]

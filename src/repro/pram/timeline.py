@@ -1,0 +1,123 @@
+"""Per-cycle PRAM activity timelines (teaching/diagnostic aid).
+
+A :class:`TimelineRecorder` hooks the lockstep machine's cycle loop and
+records which operation kind each processor issued per cycle;
+:func:`render_timeline` draws the result as an ASCII Gantt strip —
+making load (im)balance *visible*: Merge Path's strips all end at the
+same cycle; an imbalanced partition leaves long idle tails.
+
+Legend: ``r`` read, ``w`` write, ``c`` compute, ``.`` idle (halted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InputError
+from .machine import PRAMMachine
+from .memory import SharedMemory
+from .metrics import RunMetrics
+from .program import Program
+
+__all__ = ["TimelineRecorder", "TracingPRAMMachine", "render_timeline"]
+
+
+@dataclass(slots=True)
+class TimelineRecorder:
+    """Per-processor, per-cycle operation kinds."""
+
+    lanes: list[list[str]] = field(default_factory=list)
+
+    def ensure(self, p: int) -> None:
+        while len(self.lanes) < p:
+            self.lanes.append([])
+
+    def record(self, pid: int, kind: str) -> None:
+        self.lanes[pid].append(kind)
+
+    def pad(self) -> None:
+        """Pad halted processors with idle marks to the final cycle."""
+        horizon = max((len(l) for l in self.lanes), default=0)
+        for lane in self.lanes:
+            lane.extend("." * (horizon - len(lane)))
+
+
+class TracingPRAMMachine(PRAMMachine):
+    """A PRAM machine that also fills a :class:`TimelineRecorder`.
+
+    Implemented by shadowing the memory's ``execute_cycle`` — the one
+    point every cycle's accesses already flow through — so the lockstep
+    semantics are untouched.
+    """
+
+    def __init__(self, memory: SharedMemory, recorder: TimelineRecorder,
+                 **kwargs) -> None:
+        super().__init__(memory, **kwargs)
+        self.recorder = recorder
+
+    def run(self, programs: list[Program]) -> RunMetrics:
+        self.recorder.ensure(len(programs))
+        inner_execute = self.memory.execute_cycle
+        p = len(programs)
+        # cycle-indexed marks: None until classified
+        marks: list[dict[int, str]] = []
+
+        def traced_execute(reads, writes):
+            cycle_marks = {}
+            for pid in reads:
+                cycle_marks[pid] = "r"
+            for pid in writes:
+                cycle_marks[pid] = "w"
+            marks.append(cycle_marks)
+            return inner_execute(reads, writes)
+
+        self.memory.execute_cycle = traced_execute  # type: ignore[method-assign]
+        try:
+            metrics = super().run(programs)
+        finally:
+            self.memory.execute_cycle = inner_execute  # type: ignore[method-assign]
+        # A lockstep processor never stalls: it is active for exactly its
+        # first `steps` cycles.  Any active cycle without a memory mark
+        # was a compute; cycles past its halt are idle.
+        for pid in range(p):
+            steps = metrics.steps_per_processor[pid]
+            lane = self.recorder.lanes[pid]
+            for t, cycle_marks in enumerate(marks):
+                if t < steps:
+                    lane.append(cycle_marks.get(pid, "c"))
+                else:
+                    lane.append(".")
+        self.recorder.pad()
+        return metrics
+
+
+def render_timeline(
+    recorder: TimelineRecorder, *, max_width: int = 100
+) -> str:
+    """Render lanes as an ASCII strip, compressing long runs if needed.
+
+    When the horizon exceeds ``max_width`` cycles, each output column
+    summarizes a bucket of cycles by its most interesting mark
+    (w > r > c > .) so imbalance tails stay visible.
+    """
+    if max_width < 1:
+        raise InputError("max_width must be >= 1")
+    lanes = recorder.lanes
+    if not lanes:
+        return "(no timeline)"
+    horizon = len(lanes[0])
+    rank = {".": 0, "c": 1, "r": 2, "w": 3}
+    lines = []
+    for pid, lane in enumerate(lanes):
+        if horizon <= max_width:
+            strip = "".join(lane)
+        else:
+            strip = ""
+            bucket = max(1, -(-horizon // max_width))
+            for lo in range(0, horizon, bucket):
+                chunk = lane[lo : lo + bucket]
+                strip += max(chunk, key=lambda m: rank[m])
+        lines.append(f"P{pid:<3} |{strip}|")
+    lines.append(f"      cycles: {horizon} "
+                 f"(r=read w=write c=compute .=idle)")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Reproduction scorecard: ``python -m repro scorecard``.
+
+Runs every experiment and evaluates each paper claim as a PASS/FAIL
+predicate over the regenerated numbers — the single-command answer to
+"did this reproduction actually reproduce?".  The predicates are the
+same headline assertions the benchmark suite enforces, factored here so
+they are visible, enumerable and individually reportable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .experiments.registry import run_experiment
+from .types import ExperimentResult
+
+__all__ = ["Claim", "CLAIMS", "evaluate_claims", "render_scorecard"]
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One paper claim and its pass predicate over experiment rows."""
+
+    exp_id: str
+    paper_ref: str
+    statement: str
+    check: Callable[[ExperimentResult], bool]
+
+
+def _fig5_mean_band(r: ExperimentResult) -> bool:
+    at12 = [float(x["model_speedup"]) for x in r.rows if x["p"] == 12]
+    return bool(at12) and 11.0 <= sum(at12) / len(at12) <= 12.0
+
+
+def _fig5_droop(r: ExperimentResult) -> bool:
+    at12 = {x["size_Melem"]: float(x["model_speedup"])
+            for x in r.rows if x["p"] == 12}
+    return at12 and at12[max(at12)] == min(at12.values())
+
+
+def _overhead_small(r: ExperimentResult) -> bool:
+    counted = float(r.rows[1]["overhead_pct"])
+    wall = float(r.rows[0]["overhead_pct"])
+    return counted == 0.0 and abs(wall) < 10.0
+
+
+def _t14_bound(r: ExperimentResult) -> bool:
+    return all(r.column("within_bound")) and max(r.column("imbalance")) <= 1
+
+
+def _complex_fit(r: ExperimentResult) -> bool:
+    r2 = float(r.notes[0].split("R² = ")[1].split(",")[0])
+    return r2 > 0.999
+
+
+def _lb_sv_latency(r: ExperimentResult) -> bool:
+    ratios = [
+        float(x["pram_time_ratio"]) for x in r.rows
+        if x["algorithm"] == "shiloach_vishkin"
+        and x["workload"] in ("disjoint_high_low", "all_equal")
+    ]
+    return bool(ratios) and max(ratios) >= 2.0
+
+
+def _lb_balanced(r: ExperimentResult) -> bool:
+    return all(
+        float(x["max_over_avg"]) <= 1.05
+        for x in r.rows
+        if x["algorithm"] in ("merge_path", "deo_sarkar", "akl_santoro")
+    )
+
+
+def _spm_floor(r: ExperimentResult) -> bool:
+    rows = {x["algorithm"]: x for x in r.rows}
+    return float(rows["segmented_SPM"]["vs_compulsory"]) <= 1.05
+
+
+def _spm_three_way(r: ExperimentResult) -> bool:
+    rows = {x["algorithm"]: x for x in r.rows}
+    return (
+        float(rows["segmented_SPM/3-way"]["vs_compulsory"]) <= 1.05
+        and float(rows["segmented_SPM/2-way"]["vs_compulsory"]) > 1.05
+    )
+
+
+def _spm_p_sweep(r: ExperimentResult) -> bool:
+    basics = [
+        float(x["vs_compulsory"]) for x in r.rows
+        if x["algorithm"] == "parallel_basic/2-way/p-sweep"
+    ]
+    spms = [
+        float(x["vs_compulsory"]) for x in r.rows
+        if x["algorithm"] == "segmented_SPM/2-way/p-sweep"
+    ]
+    return basics == sorted(basics) and basics[-1] > 2 * spms[-1]
+
+
+def _prefetch_rescues_basic(r: ExperimentResult) -> bool:
+    rows = {x["algorithm"]: x for x in r.rows}
+    return (
+        float(rows["basic/large-cache/prefetch-x4"]["vs_compulsory"])
+        < float(rows["basic/large-cache/prefetch-x0"]["vs_compulsory"]) / 2
+    )
+
+
+def _sort_shape(r: ExperimentResult) -> bool:
+    ratios = [float(x["ratio"]) for x in r.rows if x["part"] == "sort_cycles"]
+    return bool(ratios) and max(ratios) / min(ratios) < 2.0
+
+
+def _sort_locality(r: ExperimentResult) -> bool:
+    by = {x["part"]: x for x in r.rows}
+    return (
+        float(by["final_round_SPM"]["ratio"])
+        < float(by["final_round_basic"]["ratio"])
+        and float(by["sort_cache_aware"]["ratio"])
+        < float(by["sort_oblivious"]["ratio"])
+    )
+
+
+def _hyper_grows(r: ExperimentResult) -> bool:
+    speedups = [
+        float(x["spm_speedup"]) for x in r.rows if x["algorithm"] == "SPM"
+    ]
+    return speedups == sorted(speedups) and speedups[-1] > 3.0
+
+
+#: The scorecard: every claim checked, in paper order.
+CLAIMS: tuple[Claim, ...] = (
+    Claim("FIG5", "Fig. 5", "~11.7x mean speedup at 12 threads",
+          _fig5_mean_band),
+    Claim("FIG5", "Fig. 5", "largest arrays show the slowest speedup",
+          _fig5_droop),
+    Claim("REM6PCT", "§VI remark",
+          "single-thread overhead small; algorithmic part zero",
+          _overhead_small),
+    Claim("T14", "Thm. 14 / Cor. 7",
+          "partition probes within log2(min) bound; imbalance <= 1",
+          _t14_bound),
+    Claim("COMPLEX", "§III", "time fits c1*N/p + c2*log N with R^2 > 0.999",
+          _complex_fit),
+    Claim("LB", "§V", "SV-style partition costs >= 2x barrier latency",
+          _lb_sv_latency),
+    Claim("LB", "§V", "merge path / [2] / [5] stay perfectly balanced",
+          _lb_balanced),
+    Claim("SPM", "§IV.B", "SPM runs at the compulsory-miss floor",
+          _spm_floor),
+    Claim("SPM", "§IV.B remark", "3-way associativity suffices (2-way fails)",
+          _spm_three_way),
+    Claim("SPM", "§IV/§VII", "basic merge degrades with p; SPM stays flat",
+          _spm_p_sweep),
+    Claim("SPM", "§VI", "hardware prefetch rescues the basic merge",
+          _prefetch_rescues_basic),
+    Claim("SORT", "§III", "sort cycles track the complexity model",
+          _sort_shape),
+    Claim("SORT", "§IV.C", "cache-aware sort beats naive and oblivious",
+          _sort_locality),
+    Claim("HYPER", "§VII", "SPM's many-core advantage grows with p",
+          _hyper_grows),
+)
+
+
+def evaluate_claims(
+    *, quick: bool = True
+) -> list[tuple[Claim, bool]]:
+    """Run the experiments once each and evaluate every claim."""
+    cache: dict[str, ExperimentResult] = {}
+    results = []
+    for claim in CLAIMS:
+        if claim.exp_id not in cache:
+            kwargs: dict[str, object] = {}
+            if quick and claim.exp_id == "FIG5":
+                kwargs["full"] = True  # FIG5 default is already fast
+            cache[claim.exp_id] = run_experiment(claim.exp_id, **kwargs)
+        try:
+            ok = bool(claim.check(cache[claim.exp_id]))
+        except Exception:  # noqa: BLE001 - a broken check is a failure
+            ok = False
+        results.append((claim, ok))
+    return results
+
+
+def render_scorecard(results: list[tuple[Claim, bool]]) -> str:
+    """Plain-text scorecard."""
+    lines = ["Reproduction scorecard", "======================"]
+    passed = 0
+    for claim, ok in results:
+        mark = "PASS" if ok else "FAIL"
+        passed += ok
+        lines.append(f"[{mark}] {claim.paper_ref:<16} {claim.statement}")
+    lines.append("")
+    lines.append(f"claims reproduced: {passed}/{len(results)}")
+    return "\n".join(lines)

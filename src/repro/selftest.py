@@ -1,0 +1,127 @@
+"""Quick self-verification battery: ``python -m repro selftest``.
+
+Runs every merge/sort implementation in the package against the public
+verifiers on a grid of statistical and adversarial inputs — a
+dependency-free smoke check for fresh installs, ports, and custom
+backends (pass ``backend=`` to check yours).  Prints one line per
+check; returns the failure count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .backends import Backend
+from .baselines.akl_santoro import akl_santoro_merge
+from .baselines.deo_sarkar import deo_sarkar_merge
+from .baselines.heap_kway import heap_kway_merge
+from .baselines.shiloach_vishkin import sv_merge
+from .core.cache_sort import cache_efficient_sort
+from .core.inplace import merge_inplace_parallel
+from .core.kway import kway_merge
+from .core.merge_path import partition_merge_path
+from .core.merge_sort import parallel_merge_sort
+from .core.parallel_merge import parallel_merge
+from .core.segmented_merge import segmented_parallel_merge
+from .core.streaming import streaming_merge
+from .gpu import blocked_merge
+from .verify import verify_merged, verify_partition
+from .workloads.adversarial import ADVERSARIAL_PAIRS
+from .workloads.generators import sorted_pair
+
+__all__ = ["run_selftest"]
+
+
+def _merge_checks(backend: Backend | str) -> dict[str, Callable]:
+    return {
+        "parallel_merge(p=4)": lambda a, b: parallel_merge(
+            a, b, 4, backend=backend
+        ),
+        "segmented_merge(L=64)": lambda a, b: segmented_parallel_merge(
+            a, b, 4, L=64, backend=backend
+        ),
+        "gpu.blocked_merge": lambda a, b: blocked_merge(a, b)[0],
+        "kway_merge": lambda a, b: kway_merge([a, b], 4, backend=backend),
+        "heap_kway": lambda a, b: heap_kway_merge([a, b]),
+        "sv_merge": lambda a, b: sv_merge(a, b, 4),
+        "akl_santoro": lambda a, b: akl_santoro_merge(a, b, 4),
+        "deo_sarkar": lambda a, b: deo_sarkar_merge(a, b, 4),
+        "streaming(L=32)": lambda a, b: (
+            np.concatenate(list(streaming_merge(iter(a), iter(b), L=32)))
+            if len(a) + len(b)
+            else np.array([])
+        ),
+        "inplace_parallel": _inplace_adapter,
+    }
+
+
+def _inplace_adapter(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    arr = np.concatenate([a, b])
+    merge_inplace_parallel(arr, len(a), 4)
+    return arr
+
+
+def run_selftest(
+    *, backend: Backend | str = "serial", verbose: bool = True, seed: int = 99
+) -> int:
+    """Run the battery; returns the number of failed checks."""
+    inputs: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        "uniform": sorted_pair(500, 430, seed),
+        "floats": sorted_pair(300, 310, seed, kind="uniform_floats"),
+        "duplicates": sorted_pair(400, 380, seed, kind="zipf_duplicates"),
+    }
+    for name, make in ADVERSARIAL_PAIRS.items():
+        inputs[name] = make(128)
+
+    failures = 0
+
+    def report(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        if verbose:
+            mark = "ok " if ok else "FAIL"
+            print(f"  [{mark}] {label}{': ' + detail if detail else ''}")
+
+    for input_name, (a, b) in inputs.items():
+        if verbose:
+            print(f"input: {input_name} (|A|={len(a)}, |B|={len(b)})")
+        # the partitioner itself
+        try:
+            verify_partition(partition_merge_path(a, b, 8), a, b)
+            report("partition_merge_path(p=8)", True)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            report("partition_merge_path(p=8)", False, repr(exc))
+        for check_name, fn in _merge_checks(backend).items():
+            try:
+                out = fn(a, b)
+                verify_merged(out, a, b)
+                report(check_name, True)
+            except Exception as exc:  # noqa: BLE001
+                report(check_name, False, repr(exc))
+
+    # sorts
+    g = np.random.default_rng(seed)
+    x = g.integers(0, 10_000, 2000)
+    from .core.natural_sort import natural_merge_sort
+
+    for sort_name, sort_fn in (
+        ("parallel_merge_sort", lambda v: parallel_merge_sort(
+            v, 4, backend=backend)),
+        ("cache_efficient_sort", lambda v: cache_efficient_sort(
+            v, 4, 256, backend=backend)),
+        ("natural_merge_sort", lambda v: natural_merge_sort(
+            v, 4, backend=backend)),
+    ):
+        try:
+            ok = bool(np.array_equal(sort_fn(x), np.sort(x)))
+            report(sort_name, ok)
+        except Exception as exc:  # noqa: BLE001
+            report(sort_name, False, repr(exc))
+
+    if verbose:
+        total = len(inputs) * (len(_merge_checks(backend)) + 1) + 3
+        print(f"\nselftest: {total - failures}/{total} checks passed")
+    return failures

@@ -1,0 +1,104 @@
+"""Input validation helpers shared by all merge kernels.
+
+Validation is factored out so every public entry point applies identical
+rules (sortedness, dtype compatibility, bounds) and produces identical
+error types, and so the hot kernels can skip re-validation when called
+internally with ``check=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import DTypeMismatchError, InputError, NotSortedError
+
+__all__ = [
+    "as_array",
+    "check_sorted",
+    "check_mergeable",
+    "check_positive",
+    "check_range",
+    "first_disorder",
+]
+
+
+def as_array(x: Sequence | np.ndarray, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to a 1-D numpy array without copying when possible.
+
+    Raises :class:`~repro.errors.InputError` for inputs that are not
+    one-dimensional or that coerce to object arrays of uncomparable
+    elements.
+    """
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise InputError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def first_disorder(arr: np.ndarray) -> int | None:
+    """Return the first index ``i`` with ``arr[i] > arr[i+1]``, else ``None``.
+
+    Vectorized: O(n) with a single numpy comparison pass.
+    """
+    if len(arr) < 2:
+        return None
+    bad = np.nonzero(arr[:-1] > arr[1:])[0]
+    if bad.size:
+        return int(bad[0])
+    return None
+
+
+def check_sorted(arr: np.ndarray, name: str = "array") -> None:
+    """Raise :class:`~repro.errors.NotSortedError` unless ``arr`` is
+    non-decreasing."""
+    idx = first_disorder(arr)
+    if idx is not None:
+        raise NotSortedError(name, idx)
+
+
+def check_mergeable(a: np.ndarray, b: np.ndarray, check_order: bool = True) -> None:
+    """Validate that ``a`` and ``b`` can be merged.
+
+    Checks dimensionality (both 1-D), dtype comparability (their
+    promoted dtype must not be ``object`` unless both already are) and,
+    when ``check_order`` is true, sortedness of both inputs.
+    """
+    if a.ndim != 1 or b.ndim != 1:
+        raise InputError(
+            f"merge inputs must be 1-D, got shapes {a.shape} and {b.shape}"
+        )
+    try:
+        promoted = np.promote_types(a.dtype, b.dtype)
+    except TypeError as exc:
+        raise DTypeMismatchError(
+            f"cannot merge dtypes {a.dtype} and {b.dtype}: {exc}"
+        ) from exc
+    # numpy "promotes" numeric+string to string by casting numbers to
+    # text, which silently changes comparison semantics — reject it.
+    a_text = np.issubdtype(a.dtype, np.str_) or np.issubdtype(a.dtype, np.bytes_)
+    b_text = np.issubdtype(b.dtype, np.str_) or np.issubdtype(b.dtype, np.bytes_)
+    if a_text != b_text:
+        raise DTypeMismatchError(
+            f"cannot merge text dtype with numeric dtype "
+            f"({a.dtype} vs {b.dtype}; promotion to {promoted} would "
+            "compare numbers as text)"
+        )
+    if check_order:
+        check_sorted(a, "A")
+        check_sorted(b, "B")
+
+
+def check_positive(value: int, name: str) -> None:
+    """Raise :class:`~repro.errors.InputError` unless ``value`` >= 1."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise InputError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise InputError(f"{name} must be >= 1, got {value}")
+
+
+def check_range(value: int, name: str, lo: int, hi: int) -> None:
+    """Raise :class:`~repro.errors.InputError` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise InputError(f"{name} must be in [{lo}, {hi}], got {value}")

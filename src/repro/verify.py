@@ -1,0 +1,104 @@
+"""Public result verifiers.
+
+The test suite pins the package against reference implementations; this
+module packages the same checks for *users* — e.g. validating a custom
+backend, a new kernel, or a port of the library, without depending on
+pytest.  All functions raise :class:`~repro.errors.PartitionError` (for
+structural problems) or :class:`AssertionError`-free, informative
+:class:`~repro.errors.ReproError` subclasses; they return ``None`` on
+success so they can be sprinkled into pipelines cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import PartitionError, ReproError
+from .types import Partition
+from .validation import as_array
+
+__all__ = ["verify_merged", "verify_partition", "verify_sorted"]
+
+
+class VerificationError(ReproError):
+    """A verifier found the checked artifact inconsistent."""
+
+
+def verify_sorted(x: np.ndarray, name: str = "array") -> None:
+    """Raise :class:`VerificationError` unless ``x`` is non-decreasing."""
+    x = as_array(x, name)
+    if len(x) > 1:
+        bad = np.nonzero(x[:-1] > x[1:])[0]
+        if bad.size:
+            i = int(bad[0])
+            raise VerificationError(
+                f"{name} not sorted: {name}[{i}]={x[i]!r} > "
+                f"{name}[{i + 1}]={x[i + 1]!r}"
+            )
+
+
+def verify_merged(
+    out: np.ndarray, a: np.ndarray, b: np.ndarray, name: str = "output"
+) -> None:
+    """Check that ``out`` is a correct merge of ``a`` and ``b``.
+
+    Three conditions: correct length, sorted, and exact multiset
+    equality with ``A ∪ B`` (order-insensitive, duplicate-exact).
+    Stability cannot be checked from values alone — use
+    :func:`repro.core.keyed.argmerge` permutations when you need to
+    audit tie order.
+    """
+    out = as_array(out, name)
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    if len(out) != len(a) + len(b):
+        raise VerificationError(
+            f"{name} length {len(out)} != |A|+|B| = {len(a) + len(b)}"
+        )
+    verify_sorted(out, name)
+    expected = np.sort(np.concatenate([a, b]))
+    if not np.array_equal(np.sort(out), expected):
+        raise VerificationError(
+            f"{name} is not a permutation of A ∪ B (element multiset differs)"
+        )
+
+
+def verify_partition(
+    partition: Partition, a: np.ndarray, b: np.ndarray
+) -> None:
+    """Check a partition is a true merge-path partition of (A, B).
+
+    Structural tiling (segments cover the path exactly once, in order),
+    balance (Corollary 7: imbalance ≤ 1), and the *semantic* boundary
+    conditions — every cut point must satisfy the diagonal-intersection
+    inequalities, i.e. be a point the merge path actually passes
+    through (with the package's A-first tie rule).
+    """
+    a = as_array(a, "A")
+    b = as_array(b, "B")
+    try:
+        partition.validate()
+    except AssertionError as exc:
+        raise PartitionError(f"structural tiling violated: {exc}") from exc
+    if partition.a_len != len(a) or partition.b_len != len(b):
+        raise PartitionError(
+            f"partition built for |A|={partition.a_len}, |B|={partition.b_len}"
+            f" but given arrays of {len(a)}, {len(b)}"
+        )
+    if partition.max_imbalance > 1:
+        raise PartitionError(
+            f"imbalance {partition.max_imbalance} > 1 violates Corollary 7"
+        )
+    for seg in partition.segments:
+        i, j = seg.a_start, seg.b_start
+        # path-point conditions at the segment start (Proposition 13):
+        if i > 0 and j < len(b) and a[i - 1] > b[j]:
+            raise PartitionError(
+                f"segment {seg.index} start ({i}, {j}) is not on the merge "
+                f"path: A[{i - 1}]={a[i - 1]!r} > B[{j}]={b[j]!r}"
+            )
+        if j > 0 and i < len(a) and b[j - 1] >= a[i]:
+            raise PartitionError(
+                f"segment {seg.index} start ({i}, {j}) violates the A-first "
+                f"tie rule: B[{j - 1}]={b[j - 1]!r} >= A[{i}]={a[i]!r}"
+            )

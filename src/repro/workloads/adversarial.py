@@ -1,0 +1,128 @@
+"""Structured adversarial input pairs.
+
+These drive the failure/extreme paths the statistical generators almost
+never hit:
+
+* :func:`disjoint_low_high` / :func:`disjoint_high_low` — all of one
+  array precedes all of the other.  ``high_low`` is literally the
+  paper's introduction counterexample ("all the elements of A are
+  greater than all those of B") that breaks the naive split, and it
+  drives the Shiloach–Vishkin partition to its ``|A|/p + |B|`` worst
+  segment.
+* :func:`perfect_interleave` — A gets evens, B gets odds: the friendly
+  case where even the naive split happens to be correct (tests assert
+  this, because a counterexample demo is only honest if the happy case
+  is shown too).
+* :func:`all_equal` — every element equal: the all-ties path; the merge
+  path is a staircase and stability is the only thing distinguishing
+  outputs.
+* :func:`organ_pipe_pair` — ascending-then-flat vs flat-then-ascending
+  overlap, producing maximally unequal A/B consumption per segment.
+* :func:`staircase_runs` — long alternating runs, the galloping
+  kernel's best case.
+* :func:`one_sided_tail` — a tiny array against a huge one (the
+  ``|A| << |B|`` regime where the log(min) search bound matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import check_positive
+
+__all__ = [
+    "disjoint_low_high",
+    "disjoint_high_low",
+    "perfect_interleave",
+    "all_equal",
+    "organ_pipe_pair",
+    "staircase_runs",
+    "one_sided_tail",
+    "ADVERSARIAL_PAIRS",
+]
+
+
+def disjoint_low_high(n: int, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """A = 0..n-1, B = n..2n-1 (all of A below all of B)."""
+    check_positive(n, "n")
+    return np.arange(n, dtype=dtype), np.arange(n, 2 * n, dtype=dtype)
+
+
+def disjoint_high_low(n: int, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """A = n..2n-1, B = 0..n-1 — the paper's naive-split killer."""
+    b, a = disjoint_low_high(n, dtype)
+    return a, b
+
+
+def perfect_interleave(n: int, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """A = evens, B = odds: every merge step alternates arrays."""
+    check_positive(n, "n")
+    return (
+        np.arange(0, 2 * n, 2, dtype=dtype),
+        np.arange(1, 2 * n, 2, dtype=dtype),
+    )
+
+
+def all_equal(n: int, value: int = 7, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """Both arrays a single repeated value — the all-ties path."""
+    check_positive(n, "n")
+    return (
+        np.full(n, value, dtype=dtype),
+        np.full(n, value, dtype=dtype),
+    )
+
+
+def organ_pipe_pair(n: int, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """A ramps early then saturates; B saturates low then ramps.
+
+    A = [0,1,...,n/2-1, n/2, n/2, ...], B = [n/2, n/2, ..., n/2+1, ...]
+    — consumption rates flip mid-merge, bending the merge path hard.
+    """
+    check_positive(n, "n")
+    half = n // 2
+    a = np.concatenate(
+        [np.arange(half, dtype=dtype), np.full(n - half, half, dtype=dtype)]
+    )
+    b = np.concatenate(
+        [
+            np.full(half, half, dtype=dtype),
+            np.arange(half + 1, half + 1 + (n - half), dtype=dtype),
+        ]
+    )
+    return a, b
+
+
+def staircase_runs(
+    n: int, run: int = 64, dtype=np.int64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Alternating long runs: A owns even stairs, B odd stairs."""
+    check_positive(n, "n")
+    check_positive(run, "run")
+    base = np.arange(n, dtype=dtype)
+    stair = base // run
+    a = base + stair * run       # even stairs: [0..run) + gaps
+    b = base + (stair + 1) * run  # odd stairs
+    return a, b
+
+
+def one_sided_tail(
+    small: int, big: int, dtype=np.int64
+) -> tuple[np.ndarray, np.ndarray]:
+    """A tiny A sprinkled through a huge B (|A| << |B|)."""
+    check_positive(small, "small")
+    check_positive(big, "big")
+    a = np.linspace(0, big, num=small, dtype=dtype)
+    b = np.arange(big, dtype=dtype)
+    return a, b
+
+
+#: Named registry used by parametrized tests and the LB experiment.
+ADVERSARIAL_PAIRS = {
+    "disjoint_low_high": lambda n: disjoint_low_high(n),
+    "disjoint_high_low": lambda n: disjoint_high_low(n),
+    "perfect_interleave": lambda n: perfect_interleave(n),
+    "all_equal": lambda n: all_equal(n),
+    "organ_pipe": lambda n: organ_pipe_pair(n),
+    "staircase_runs": lambda n: staircase_runs(n),
+    "one_sided_tail": lambda n: one_sided_tail(max(1, n // 64), n),
+}

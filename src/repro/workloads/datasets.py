@@ -1,0 +1,75 @@
+"""Scenario datasets for the example applications.
+
+Synthetic but realistically shaped: the examples sort and merge these
+the way the paper's introduction motivates (merging as the core of
+sorting pipelines and of combining pre-sorted streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InputError
+from ..validation import check_positive
+from .generators import rng_from
+
+__all__ = ["log_records", "timeseries_shards"]
+
+
+def log_records(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    start_epoch: int = 1_700_000_000,
+    span_s: int = 86_400,
+    sources: int = 4,
+) -> list[np.ndarray]:
+    """Per-source sorted timestamp streams, like log files to merge.
+
+    Each of ``sources`` streams carries ``~n/sources`` int64 epoch
+    timestamps drawn from bursty (clustered) arrivals over ``span_s``
+    seconds, pre-sorted per source — the classic merge-join shape.
+    """
+    check_positive(n, "n")
+    check_positive(sources, "sources")
+    if span_s < 1:
+        raise InputError(f"span_s must be >= 1, got {span_s}")
+    rng = rng_from(seed)
+    per = [n // sources + (1 if s < n % sources else 0) for s in range(sources)]
+    streams = []
+    for count in per:
+        if count == 0:
+            streams.append(np.empty(0, dtype=np.int64))
+            continue
+        # Bursty arrivals: cluster centers + jitter.
+        centers = rng.integers(0, span_s, size=max(1, count // 32 + 1))
+        which = rng.integers(0, len(centers), size=count)
+        jitter = rng.exponential(30.0, size=count).astype(np.int64)
+        ts = start_epoch + centers[which] + jitter
+        ts.sort()
+        streams.append(ts.astype(np.int64))
+    return streams
+
+
+def timeseries_shards(
+    n: int,
+    shards: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Sorted float measurement shards with overlapping ranges.
+
+    Models time-partitioned sensor data whose shard boundaries overlap
+    (late-arriving samples), so naive concatenation is unsorted and a
+    k-way merge is required.
+    """
+    check_positive(n, "n")
+    check_positive(shards, "shards")
+    rng = rng_from(seed)
+    per = n // shards
+    out = []
+    for s in range(shards):
+        base = s * per * 0.8  # 20% overlap with the next shard
+        vals = base + rng.random(per) * per * 1.2
+        vals.sort()
+        out.append(vals)
+    return out

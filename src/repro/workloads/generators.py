@@ -1,0 +1,172 @@
+"""Seeded statistical workload generators.
+
+Every generator takes an explicit ``seed`` (or a ``numpy.random
+.Generator``) so experiments are reproducible run to run; nothing in
+the package ever consumes global RNG state.  The paper's Figure 5
+workload is :func:`sorted_uniform_ints` — uniformly random 32-bit
+integers, pre-sorted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InputError
+from ..validation import check_positive
+
+__all__ = [
+    "rng_from",
+    "sorted_uniform_ints",
+    "sorted_uniform_floats",
+    "sorted_gaussian",
+    "sorted_zipf_duplicates",
+    "sorted_pair",
+    "unsorted_uniform_ints",
+    "nearly_sorted",
+]
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a Generator (fresh entropy only for None)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise InputError(f"n must be >= 0, got {n}")
+
+
+def unsorted_uniform_ints(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    low: int = 0,
+    high: int = 2**31 - 1,
+    dtype=np.int32,
+) -> np.ndarray:
+    """Uniform random integers in ``[low, high)``, unsorted."""
+    _check_n(n)
+    if high <= low:
+        raise InputError(f"need high > low, got [{low}, {high})")
+    return rng_from(seed).integers(low, high, size=n, dtype=dtype)
+
+
+def sorted_uniform_ints(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    low: int = 0,
+    high: int = 2**31 - 1,
+    dtype=np.int32,
+) -> np.ndarray:
+    """The paper's workload: sorted uniform 32-bit integers."""
+    out = unsorted_uniform_ints(n, seed, low=low, high=high, dtype=dtype)
+    out.sort()
+    return out
+
+
+def sorted_uniform_floats(
+    n: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Sorted uniform float64 in [0, 1)."""
+    _check_n(n)
+    out = rng_from(seed).random(n)
+    out.sort()
+    return out
+
+
+def sorted_gaussian(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    mu: float = 0.0,
+    sigma: float = 1.0,
+) -> np.ndarray:
+    """Sorted normal draws — clustered values stress galloping less than
+    disjoint ranges but more than uniform."""
+    _check_n(n)
+    if sigma <= 0:
+        raise InputError(f"sigma must be > 0, got {sigma}")
+    out = rng_from(seed).normal(mu, sigma, size=n)
+    out.sort()
+    return out
+
+
+def sorted_zipf_duplicates(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    a: float = 1.5,
+    vocab: int = 1000,
+) -> np.ndarray:
+    """Sorted heavy-duplicate integers (Zipf over a small vocabulary).
+
+    Long runs of equal keys exercise the stability tie-break paths and
+    the galloping kernel's block copies.
+    """
+    _check_n(n)
+    if a <= 1.0:
+        raise InputError(f"zipf exponent must be > 1, got {a}")
+    check_positive(vocab, "vocab")
+    draws = rng_from(seed).zipf(a, size=n)
+    out = np.minimum(draws, vocab).astype(np.int64)
+    out.sort()
+    return out
+
+
+def sorted_pair(
+    a_len: int,
+    b_len: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    kind: str = "uniform_ints",
+) -> tuple[np.ndarray, np.ndarray]:
+    """A pair of independently drawn sorted arrays of one family.
+
+    ``kind`` ∈ {"uniform_ints", "uniform_floats", "gaussian",
+    "zipf_duplicates"}.
+    """
+    rng = rng_from(seed)
+    makers = {
+        "uniform_ints": sorted_uniform_ints,
+        "uniform_floats": sorted_uniform_floats,
+        "gaussian": sorted_gaussian,
+        "zipf_duplicates": sorted_zipf_duplicates,
+    }
+    try:
+        make = makers[kind]
+    except KeyError:
+        raise InputError(
+            f"unknown workload kind {kind!r}; choose from {sorted(makers)}"
+        ) from None
+    return make(a_len, rng), make(b_len, rng)
+
+
+def nearly_sorted(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    swap_fraction: float = 0.01,
+) -> np.ndarray:
+    """Almost-sorted data: ``arange`` with a fraction of random swaps.
+
+    The classic easy case for adaptive sorts; our merge sort is not
+    adaptive, so this workload documents (in benches) what is left on
+    the table versus e.g. TimSort.
+    """
+    _check_n(n)
+    if not 0.0 <= swap_fraction <= 1.0:
+        raise InputError(
+            f"swap_fraction must be in [0, 1], got {swap_fraction}"
+        )
+    rng = rng_from(seed)
+    out = np.arange(n, dtype=np.int64)
+    swaps = int(n * swap_fraction)
+    if swaps and n >= 2:
+        i = rng.integers(0, n, size=swaps)
+        j = rng.integers(0, n, size=swaps)
+        for x, y in zip(i, j):
+            out[x], out[y] = out[y], out[x]
+    return out

@@ -1,0 +1,61 @@
+"""Tests for the complexity model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import fit_merge_time_model
+from repro.errors import InputError
+
+
+def synth_grid(c1=4.0, c2=9.0, c0=5.0, noise=0.0, seed=0):
+    g = np.random.default_rng(seed)
+    ns, ps, ts = [], [], []
+    for e in (10, 12, 14, 16):
+        for p in (1, 2, 4, 8, 16):
+            n = 1 << e
+            t = c1 * n / p + c2 * np.log2(n) + c0
+            if noise:
+                t *= 1 + g.normal(0, noise)
+            ns.append(n)
+            ps.append(p)
+            ts.append(t)
+    return ns, ps, ts
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        ns, ps, ts = synth_grid()
+        fit = fit_merge_time_model(ns, ps, ts)
+        assert fit.c_linear == pytest.approx(4.0, rel=1e-6)
+        assert fit.c_log == pytest.approx(9.0, rel=1e-3)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.max_rel_residual < 1e-6
+
+    def test_noisy_recovery(self):
+        ns, ps, ts = synth_grid(noise=0.02)
+        fit = fit_merge_time_model(ns, ps, ts)
+        assert fit.c_linear == pytest.approx(4.0, rel=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        ns, ps, ts = synth_grid()
+        fit = fit_merge_time_model(ns, ps, ts)
+        assert fit.predict(1 << 14, 4) == pytest.approx(
+            4.0 * (1 << 14) / 4 + 9.0 * 14 + 5.0, rel=1e-6
+        )
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(InputError):
+            fit_merge_time_model([1, 2], [1], [1.0, 2.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(InputError):
+            fit_merge_time_model([8, 8, 8], [1, 2, 4], [1.0, 2.0, 3.0])
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(InputError):
+            fit_merge_time_model([0, 8, 8, 8], [1, 1, 2, 4], [1, 1, 1, 1])
+        with pytest.raises(InputError):
+            fit_merge_time_model([8, 8, 8, 8], [1, 1, 2, 4], [1, 1, -1, 1])

@@ -1,0 +1,58 @@
+"""Tests for the terminal figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, grouped_bar_chart
+from repro.errors import InputError
+
+
+class TestBarChart:
+    def test_longest_bar_fills_width(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_values_printed(self):
+        text = bar_chart(["x"], [3.14159])
+        assert "3.14" in text
+
+    def test_labels_aligned(self):
+        text = bar_chart(["a", "long-label"], [1, 2])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "█" not in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(InputError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_partial_blocks_for_fractions(self):
+        # 1.5 / 2.0 of width 10 = 7.5 cells -> 7 full + a half block
+        text = bar_chart(["a", "b"], [1.5, 2.0], width=10)
+        first = text.splitlines()[0]
+        assert first.count("█") == 7
+        assert "▌" in first
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        text = grouped_bar_chart(
+            {"g1": {"s": 1.0}, "g2": {"s": 4.0}}, width=8
+        )
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2
+
+    def test_group_headers(self):
+        text = grouped_bar_chart({"p=2": {"1M": 2.0}})
+        assert "p=2:" in text
+
+    def test_empty(self):
+        assert grouped_bar_chart({}) == "(empty chart)"

@@ -1,0 +1,42 @@
+"""Tests for the Markdown report generator."""
+
+from repro.analysis.report import generate_report, result_to_markdown
+from repro.types import ExperimentResult
+
+
+class TestResultToMarkdown:
+    def test_table_structure(self):
+        r = ExperimentResult(exp_id="X", title="demo", columns=["a", "b"])
+        r.add_row(a=1, b=2)
+        r.notes.append("a note")
+        md = result_to_markdown(r)
+        assert "## X — demo" in md
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+        assert "> a note" in md
+
+    def test_missing_cells_blank(self):
+        r = ExperimentResult(exp_id="X", title="t", columns=["a", "b"])
+        r.add_row(a=1)
+        assert "| 1 |  |" in result_to_markdown(r)
+
+
+class TestGenerateReport:
+    def test_subset_report(self):
+        md = generate_report(("T14",))
+        assert "# Merge Path reproduction report" in md
+        assert "## T14" in md
+        assert "FIG5" not in md.split("\n", 5)[-1]  # only requested exp
+
+    def test_fig5_includes_chart(self):
+        md = generate_report(("FIG5",), quick=True)
+        assert "```" in md
+        assert "█" in md
+
+    def test_cli_report_mode(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--quick", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Merge Path reproduction report" in out
+        assert "## SPM" in out

@@ -1,0 +1,73 @@
+"""Tests for speedup/efficiency arithmetic and the classical laws."""
+
+import pytest
+
+from repro.analysis.speedup import (
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    serial_fraction_from_speedup,
+    speedup,
+)
+from repro.errors import InputError
+
+
+class TestSpeedupBasics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.5) == 4.0
+
+    def test_efficiency(self):
+        assert efficiency(10.0, 2.5, 8) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            speedup(0, 1)
+        with pytest.raises(InputError):
+            speedup(1, 0)
+        with pytest.raises(InputError):
+            efficiency(1, 1, 0)
+
+
+class TestAmdahl:
+    def test_no_serial_part_is_linear(self):
+        assert amdahl_speedup(0.0, 16) == 16
+
+    def test_all_serial_is_one(self):
+        assert amdahl_speedup(1.0, 16) == 1.0
+
+    def test_classic_value(self):
+        # 5% serial, 12 cores: 1 / (0.05 + 0.95/12)
+        assert amdahl_speedup(0.05, 12) == pytest.approx(7.74, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            amdahl_speedup(-0.1, 2)
+        with pytest.raises(InputError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestGustafson:
+    def test_no_serial_part_is_linear(self):
+        assert gustafson_speedup(0.0, 8) == 8
+
+    def test_all_serial_is_one(self):
+        assert gustafson_speedup(1.0, 8) == 1.0
+
+    def test_exceeds_amdahl(self):
+        assert gustafson_speedup(0.1, 12) > amdahl_speedup(0.1, 12)
+
+
+class TestInversion:
+    def test_round_trip(self):
+        s = 0.03
+        measured = amdahl_speedup(s, 12)
+        assert serial_fraction_from_speedup(measured, 12) == pytest.approx(s)
+
+    def test_superlinear_clamped(self):
+        assert serial_fraction_from_speedup(13.0, 12) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            serial_fraction_from_speedup(5.0, 1)
+        with pytest.raises(InputError):
+            serial_fraction_from_speedup(0.0, 4)

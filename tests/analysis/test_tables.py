@@ -1,0 +1,61 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import format_value, render_result, render_table
+from repro.types import ExperimentResult
+
+
+class TestFormatValue:
+    def test_small_float(self):
+        assert format_value(0.123456) == "0.1235"
+
+    def test_mid_float_trims_zeros(self):
+        assert format_value(2.5) == "2.5"
+
+    def test_large_numbers_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(1234567.0) == "1,234,567"
+
+    def test_zero_and_bool(self):
+        assert format_value(0.0) == "0"
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["x", "value"], [[1, "aa"], [22, "b"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("x ")
+        assert set(lines[1]) <= {"-", "+"}
+        # all rows equal width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderResult:
+    def test_includes_title_and_notes(self):
+        result = ExperimentResult(
+            exp_id="X1", title="demo", columns=["a", "b"]
+        )
+        result.add_row(a=1, b=2)
+        result.notes.append("hello note")
+        text = render_result(result)
+        assert "== X1: demo ==" in text
+        assert "note: hello note" in text
+
+    def test_missing_cell_blank(self):
+        result = ExperimentResult(exp_id="X", title="t", columns=["a", "b"])
+        result.add_row(a=1)
+        assert render_result(result)  # must not raise
+
+    def test_column_extraction(self):
+        result = ExperimentResult(exp_id="X", title="t", columns=["a"])
+        result.add_row(a=1)
+        result.add_row(a=2)
+        assert result.column("a") == [1, 2]

@@ -1,0 +1,140 @@
+"""Tests for the bitonic sorting network baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitonic import (
+    bitonic_merge_network,
+    bitonic_network,
+    bitonic_sort,
+    comparator_count,
+    network_depth,
+)
+from repro.errors import InputError
+
+
+class TestNetworkStructure:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_depth_is_log_squared(self, n):
+        k = int(math.log2(n))
+        assert network_depth(bitonic_network(n)) == k * (k + 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_comparator_count(self, n):
+        k = int(math.log2(n))
+        assert comparator_count(bitonic_network(n)) == (n // 2) * k * (k + 1) // 2
+
+    def test_stage_comparators_disjoint(self):
+        for stage in bitonic_network(16):
+            wires = [w for pair in stage for w in pair]
+            assert len(wires) == len(set(wires))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InputError):
+            bitonic_network(6)
+        with pytest.raises(InputError):
+            bitonic_merge_network(10)
+
+    def test_merger_depth(self):
+        assert network_depth(bitonic_merge_network(16)) == 4
+
+
+class TestZeroOnePrinciple:
+    """A comparator network sorts all inputs iff it sorts all 0/1 inputs."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_all_binary_inputs(self, n):
+        for mask in range(2**n):
+            x = np.array([(mask >> i) & 1 for i in range(n)])
+            out = bitonic_sort(x)
+            np.testing.assert_array_equal(out, np.sort(x))
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 100, 129])
+    def test_sorts_including_padding(self, n):
+        g = np.random.default_rng(n)
+        x = g.integers(-50, 50, n)
+        np.testing.assert_array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_floats(self):
+        g = np.random.default_rng(5)
+        x = g.random(37)
+        np.testing.assert_array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_contains_int_max(self):
+        x = np.array([np.iinfo(np.int64).max, 1, np.iinfo(np.int64).max, 0])
+        np.testing.assert_array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_empty(self):
+        assert len(bitonic_sort(np.array([], dtype=int))) == 0
+
+    def test_rejects_unpaddable_dtype(self):
+        with pytest.raises(InputError):
+            bitonic_sort(np.array(["b", "a", "c"]))
+
+
+class TestOddEvenMergeNetwork:
+    from repro.baselines.bitonic import odd_even_merge, odd_even_merge_network
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_depth_is_log(self, n):
+        from repro.baselines.bitonic import odd_even_merge_network
+
+        assert network_depth(odd_even_merge_network(n)) == int(math.log2(n))
+
+    @pytest.mark.parametrize("n,count", [(2, 1), (4, 3), (8, 9), (16, 25)])
+    def test_comparator_counts(self, n, count):
+        # Batcher's odd-even merger: C(n) = (n/2)·log2(n) - n/2 + 1
+        from repro.baselines.bitonic import odd_even_merge_network
+
+        assert comparator_count(odd_even_merge_network(n)) == count
+
+    def test_stage_comparators_disjoint(self):
+        from repro.baselines.bitonic import odd_even_merge_network
+
+        for stage in odd_even_merge_network(32):
+            wires = [w for pair in stage for w in pair]
+            assert len(wires) == len(set(wires))
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_zero_one_principle_on_sorted_halves(self, n):
+        """The merger must sort every 0/1 input whose halves are sorted."""
+        from repro.baselines.bitonic import odd_even_merge
+
+        half = n // 2
+        for mask_a in range(2**half):
+            for mask_b in range(2**half):
+                a = np.sort([(mask_a >> i) & 1 for i in range(half)])
+                b = np.sort([(mask_b >> i) & 1 for i in range(half)])
+                out = odd_even_merge(a, b)
+                np.testing.assert_array_equal(
+                    out, np.sort(np.concatenate([a, b]))
+                )
+
+    def test_rejects_non_power_of_two(self):
+        from repro.baselines.bitonic import odd_even_merge_network
+
+        with pytest.raises(InputError):
+            odd_even_merge_network(6)
+
+    def test_unequal_lengths(self):
+        from repro.baselines.bitonic import odd_even_merge
+
+        a = np.arange(3)
+        b = np.arange(10, 25)
+        np.testing.assert_array_equal(
+            odd_even_merge(a, b), np.sort(np.concatenate([a, b]))
+        )
+
+    def test_fewer_comparators_than_bitonic_merger(self):
+        """Odd-even beats the bitonic merger on comparators — the
+        classic result; both are logarithmic depth."""
+        from repro.baselines.bitonic import odd_even_merge_network
+
+        for n in (8, 16, 32, 64):
+            oe = comparator_count(odd_even_merge_network(n))
+            bi = comparator_count(bitonic_merge_network(n))
+            assert oe < bi

@@ -1,0 +1,59 @@
+"""Tests for the binary-heap k-way merge baseline."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.baselines.heap_kway import heap_kway_merge
+from repro.core.kway import kway_merge
+from repro.errors import NotSortedError
+from repro.types import MergeStats
+
+
+class TestHeapKwayMerge:
+    @pytest.mark.parametrize("t", [1, 2, 4, 9])
+    def test_random(self, t):
+        g = np.random.default_rng(t)
+        arrays = [
+            np.sort(g.integers(0, 99, int(g.integers(0, 40)))) for _ in range(t)
+        ]
+        out = heap_kway_merge(arrays)
+        expected = np.sort(np.concatenate(arrays)) if arrays else []
+        np.testing.assert_array_equal(out, expected)
+
+    def test_matches_heapq_tie_order(self):
+        arrays = [np.array([3, 3, 5]), np.array([3, 4]), np.array([3])]
+        out = heap_kway_merge(arrays)
+        ref = list(heapq.merge(*[list(a) for a in arrays]))
+        np.testing.assert_array_equal(out, ref)
+
+    def test_matches_kway_merge_extension(self):
+        g = np.random.default_rng(7)
+        arrays = [np.sort(g.integers(0, 20, 25)) for _ in range(4)]
+        np.testing.assert_array_equal(
+            heap_kway_merge(arrays), kway_merge(arrays, 3, backend="serial")
+        )
+
+    def test_empty_list(self):
+        assert len(heap_kway_merge([])) == 0
+
+    def test_all_empty_arrays(self):
+        assert len(heap_kway_merge([np.array([], dtype=int)] * 2)) == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            heap_kway_merge([np.array([2, 1])])
+
+    def test_stats_comparisons_logarithmic(self):
+        arrays = [np.arange(t, 4000, 16) for t in range(16)]
+        stats = MergeStats()
+        heap_kway_merge(arrays, stats=stats)
+        total = sum(len(a) for a in arrays)
+        assert stats.moves == total
+        # O(N log T): comfortably below N * T and above N
+        assert total < stats.comparisons < total * 16
+
+    def test_dtype_promotion(self):
+        out = heap_kway_merge([np.array([1]), np.array([0.5])])
+        assert out.dtype == np.float64

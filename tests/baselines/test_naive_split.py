@@ -1,0 +1,64 @@
+"""Tests for the naive equal-split counterexample."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive_split import (
+    is_sorted,
+    naive_split_merge,
+    naive_split_partition,
+)
+from repro.workloads.adversarial import disjoint_high_low, perfect_interleave
+
+
+class TestNaiveSplitDemonstration:
+    def test_fails_on_paper_counterexample(self):
+        # "consider the case wherein all the elements of A are greater
+        # than all those of B" — the introduction's killer input.
+        a, b = disjoint_high_low(16)
+        out = naive_split_merge(a, b, 4)
+        assert not is_sorted(out)
+
+    def test_output_is_permutation_even_when_wrong(self):
+        a, b = disjoint_high_low(16)
+        out = naive_split_merge(a, b, 4)
+        np.testing.assert_array_equal(np.sort(out), np.sort(np.concatenate([a, b])))
+
+    def test_happens_to_work_on_interleaved(self):
+        # honesty check: the friendly case that hides the bug
+        a, b = perfect_interleave(16)
+        out = naive_split_merge(a, b, 4)
+        assert is_sorted(out)
+
+    def test_correct_with_p1(self):
+        a, b = disjoint_high_low(8)
+        assert is_sorted(naive_split_merge(a, b, 1))
+
+
+class TestNaiveSplitPartition:
+    def test_counts_preserved(self):
+        part = naive_split_partition(10, 6, 4)
+        assert sum(s.a_len for s in part.segments) == 10
+        assert sum(s.b_len for s in part.segments) == 6
+
+    def test_output_ranges_tile(self):
+        part = naive_split_partition(10, 6, 4)
+        assert part.segments[0].out_start == 0
+        assert part.segments[-1].out_end == 16
+
+    def test_fails_merge_path_validation_in_general(self):
+        # the partition is not a merge-path partition; validate() checks
+        # only structural tiling, which naive split does satisfy, so
+        # instead verify the semantic failure via the merge result above.
+        part = naive_split_partition(4, 4, 2)
+        part.validate()  # structurally fine — that's what makes it sneaky
+
+
+class TestIsSorted:
+    def test_empty_and_single(self):
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([1]))
+
+    def test_detects_disorder(self):
+        assert not is_sorted(np.array([1, 3, 2]))
+        assert is_sorted(np.array([1, 1, 2]))

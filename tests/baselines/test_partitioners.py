@@ -1,0 +1,101 @@
+"""Tests for the related-work partitioners (SV, Akl–Santoro, Deo–Sarkar)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.akl_santoro import (
+    PartitionTrace,
+    akl_santoro_merge,
+    akl_santoro_partition,
+)
+from repro.baselines.deo_sarkar import deo_sarkar_merge, deo_sarkar_partition
+from repro.baselines.shiloach_vishkin import sv_merge, sv_partition
+from repro.core.merge_path import partition_merge_path
+from repro.workloads.adversarial import ADVERSARIAL_PAIRS
+
+from ..conftest import reference_merge
+
+MERGES = {
+    "sv": sv_merge,
+    "akl_santoro": akl_santoro_merge,
+    "deo_sarkar": deo_sarkar_merge,
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", sorted(MERGES))
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_random(self, algo, p, sorted_pair_random):
+        a, b = sorted_pair_random
+        out = MERGES[algo](a, b, p)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+
+    @pytest.mark.parametrize("algo", sorted(MERGES))
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_PAIRS))
+    def test_adversarial(self, algo, name):
+        a, b = ADVERSARIAL_PAIRS[name](40)
+        out = MERGES[algo](a, b, 5)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+
+
+class TestPartitionStructure:
+    def test_sv_partition_tiles(self):
+        g = np.random.default_rng(0)
+        a = np.sort(g.integers(0, 99, 37))
+        b = np.sort(g.integers(0, 99, 23))
+        part = sv_partition(a, b, 4)
+        part.validate()
+
+    def test_sv_worst_case_imbalance(self):
+        # all of A above all of B: processor 0 gets its A slice + all of B
+        a, b = ADVERSARIAL_PAIRS["disjoint_high_low"](64)
+        part = sv_partition(a, b, 4)
+        lengths = part.segment_lengths
+        assert max(lengths) == 64 + 16  # |B| + |A|/p
+        assert max(lengths) / (sum(lengths) / 4) == pytest.approx(2.5)
+
+    def test_akl_equals_merge_path_partition(self):
+        g = np.random.default_rng(1)
+        a = np.sort(g.integers(0, 30, 41))  # duplicates stress tie rules
+        b = np.sort(g.integers(0, 30, 59))
+        for p in (2, 3, 8):
+            mp = partition_merge_path(a, b, p, check=False)
+            ak = akl_santoro_partition(a, b, p)
+            assert mp.segments == ak.segments
+
+    def test_deo_sarkar_equals_merge_path_partition(self):
+        # the paper's "very similar to [2]" claim, made exact
+        g = np.random.default_rng(2)
+        a = np.sort(g.integers(0, 15, 33))
+        b = np.sort(g.integers(0, 15, 48))
+        for p in (2, 5, 9):
+            mp = partition_merge_path(a, b, p, check=False)
+            ds = deo_sarkar_partition(a, b, p)
+            assert mp.segments == ds.segments
+
+    def test_deo_sarkar_equals_merge_path_adversarial(self):
+        for name, make in ADVERSARIAL_PAIRS.items():
+            a, b = make(32)
+            mp = partition_merge_path(a, b, 4, check=False)
+            ds = deo_sarkar_partition(a, b, 4)
+            assert mp.segments == ds.segments, name
+
+    def test_akl_rounds_logarithmic(self):
+        a = np.arange(128)
+        b = np.arange(128)
+        for p, expected in ((2, 1), (4, 2), (8, 3), (16, 4)):
+            trace = PartitionTrace()
+            akl_santoro_partition(a, b, p, trace=trace)
+            assert trace.rounds == expected
+
+    def test_akl_median_search_count(self):
+        trace = PartitionTrace()
+        akl_santoro_partition(np.arange(64), np.arange(64), 8, trace=trace)
+        assert trace.median_searches == 7  # p-1 interior cuts
+
+    def test_p_exceeding_n(self):
+        a = np.array([1])
+        b = np.array([2])
+        for algo in (sv_partition, akl_santoro_partition, deo_sarkar_partition):
+            part = algo(a, b, 6)
+            assert sum(part.segment_lengths) == 2

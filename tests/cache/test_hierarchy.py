@@ -1,0 +1,115 @@
+"""Tests for the cache hierarchy and coherence cost model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, CoreCaches, build_hierarchy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.trace import Access, AddressMap
+from repro.errors import InputError
+from repro.machine.specs import dell_t610, hypercore_like
+
+
+def tiny_hierarchy(cores=2, cores_per_socket=2):
+    def l1():
+        return SetAssociativeCache(256, 64, 2)
+
+    def l2():
+        return SetAssociativeCache(512, 64, 2)
+
+    core_caches = [CoreCaches(l1=l1(), l2=l2()) for _ in range(cores)]
+    l3s = [SetAssociativeCache(1024, 64, 4)
+           for _ in range((cores + cores_per_socket - 1) // cores_per_socket)]
+    return CacheHierarchy(core_caches, l3s, cores_per_socket)
+
+
+class TestAccessPath:
+    def test_first_touch_reaches_dram(self):
+        h = tiny_hierarchy()
+        h.access(0, 0, write=False)
+        stats = h.collect_stats()
+        assert stats.dram_accesses == 1
+        assert stats.l1.misses == 1
+
+    def test_l1_hit_stops_early(self):
+        h = tiny_hierarchy()
+        h.access(0, 0, False)
+        h.access(0, 4, False)  # same line
+        stats = h.collect_stats()
+        assert stats.l1.hits == 1
+        assert stats.dram_accesses == 1
+
+    def test_cross_core_read_fills_own_l1(self):
+        h = tiny_hierarchy()
+        h.access(0, 0, False)
+        h.access(1, 0, False)  # other core: own L1/L2 miss, shared L3 hit
+        stats = h.collect_stats()
+        assert stats.l1.misses == 2
+        assert stats.l3.hits == 1
+        assert stats.dram_accesses == 1
+
+    def test_core_out_of_range(self):
+        with pytest.raises(InputError):
+            tiny_hierarchy().access(5, 0, False)
+
+
+class TestCoherence:
+    def test_write_invalidates_other_copies(self):
+        h = tiny_hierarchy()
+        h.access(0, 0, False)
+        h.access(1, 0, False)   # both cores cache line 0
+        h.access(0, 0, True)    # core 0 writes: invalidate core 1
+        stats = h.collect_stats()
+        assert stats.coherence_invalidations == 1
+        # core 1 must now re-miss in its private caches
+        h.access(1, 0, False)
+        stats = h.collect_stats()
+        assert stats.l1.misses == 3
+
+    def test_no_invalidation_without_sharers(self):
+        h = tiny_hierarchy()
+        h.access(0, 0, True)
+        assert h.collect_stats().coherence_invalidations == 0
+
+    def test_ping_pong_counts_every_flip(self):
+        h = tiny_hierarchy()
+        invals = 0
+        for r in range(4):
+            h.access(0, 0, True)
+            h.access(1, 0, True)
+        stats = h.collect_stats()
+        assert stats.coherence_invalidations == 7  # all but the first write
+
+
+class TestReplay:
+    def test_replay_counts_match_manual(self):
+        h = tiny_hierarchy()
+        amap = AddressMap({"A": 16})
+        trace = [Access(0, "A", i) for i in range(8)]
+        stats = h.replay(trace, amap)
+        assert stats.total_accesses == 8
+
+    def test_miss_per_kilo(self):
+        h = tiny_hierarchy()
+        amap = AddressMap({"A": 64})
+        trace = [Access(0, "A", i) for i in range(64)]
+        stats = h.replay(trace, amap)
+        assert 0 < stats.miss_per_kilo_access("dram") <= 1000
+
+
+class TestBuildHierarchy:
+    def test_t610_shape(self):
+        h = build_hierarchy(dell_t610(), 12)
+        assert len(h.cores) == 12
+        assert len(h.l3s) == 2
+
+    def test_partial_socket(self):
+        h = build_hierarchy(dell_t610(), 4)
+        assert len(h.l3s) == 1
+
+    def test_hypercore(self):
+        h = build_hierarchy(hypercore_like(), 16)
+        assert len(h.l3s) == 1
+
+    def test_p_over_core_count_rejected(self):
+        with pytest.raises(InputError):
+            build_hierarchy(dell_t610(), 13)

@@ -1,0 +1,88 @@
+"""Tests for the sequential prefetcher model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.prefetch import SequentialPrefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import InputError
+
+
+def big_cache():
+    return SetAssociativeCache(1 << 16, 64, 16)
+
+
+class TestSequentialPrefetcher:
+    def test_pure_stream_mostly_hits(self):
+        pf = SequentialPrefetcher(big_cache(), degree=2)
+        for addr in range(0, 64 * 300, 4):
+            pf.access(addr)
+        # miss one line, prefetch two: ~1 demand miss per 3 lines
+        assert pf.stats.demand_misses == pytest.approx(100, abs=2)
+        assert pf.stats.demand_miss_rate < 0.03
+
+    def test_degree_scaling(self):
+        misses = {}
+        for degree in (1, 3, 7):
+            pf = SequentialPrefetcher(big_cache(), degree)
+            for addr in range(0, 64 * 320, 8):
+                pf.access(addr)
+            misses[degree] = pf.stats.demand_misses
+        assert misses[1] > misses[3] > misses[7]
+        assert misses[1] == pytest.approx(160, abs=2)   # every 2nd line
+        assert misses[7] == pytest.approx(40, abs=2)    # every 8th line
+
+    def test_random_access_gets_no_benefit(self):
+        g = np.random.default_rng(0)
+        addrs = g.integers(0, 1 << 22, 2000) * 64
+        pf = SequentialPrefetcher(big_cache(), degree=2)
+        plain = big_cache()
+        plain_misses = 0
+        for addr in addrs:
+            pf.access(int(addr))
+            hit, _ = plain.access(int(addr))
+            plain_misses += not hit
+        # no spatial locality: prefetch cannot help (at most noise)
+        assert pf.stats.demand_misses >= plain_misses * 0.95
+
+    def test_fills_account_traffic(self):
+        pf = SequentialPrefetcher(big_cache(), degree=2)
+        for addr in range(0, 64 * 30, 64):
+            pf.access(addr)
+        s = pf.stats
+        assert s.fills >= s.demand_misses
+        assert s.prefetch_issued == 2 * s.demand_misses
+
+    def test_useless_prefetches_counted(self):
+        cache = big_cache()
+        pf = SequentialPrefetcher(cache, degree=2)
+        pf.access(0)        # miss; prefetches lines 1,2
+        pf.access(3 * 64)   # miss; prefetches lines 4,5
+        pf.access(2 * 64)   # hit (prefetched)
+        pf.access(64)       # hit (prefetched)
+        assert pf.stats.demand_hits == 2
+        assert pf.stats.prefetch_useless == 0
+        pf.access(6 * 64)   # miss; prefetch 7,8
+        pf.access(5 * 64)   # hit
+        assert pf.stats.demand_misses == 3
+
+    def test_prefetch_lines_installed_clean(self):
+        cache = big_cache()
+        pf = SequentialPrefetcher(cache, degree=1)
+        pf.access(0, write=True)   # demand line dirty
+        # prefetched line 1 must be clean: evicting it costs no writeback
+        assert cache.contains(64)
+        cache.invalidate(64)
+        assert cache.stats.writebacks == 0
+
+    def test_degree_validation(self):
+        with pytest.raises(InputError):
+            SequentialPrefetcher(big_cache(), degree=0)
+
+    def test_wrapped_cache_stats_consistent(self):
+        """Prefetch fills must not inflate the wrapped cache's demand
+        miss counter (the compensation logic)."""
+        pf = SequentialPrefetcher(big_cache(), degree=2)
+        for addr in range(0, 64 * 90, 64):
+            pf.access(addr)
+        assert pf.cache.stats.misses == pf.stats.demand_misses

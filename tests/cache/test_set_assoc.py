@@ -1,0 +1,161 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache.set_assoc import ReplacementPolicy, SetAssociativeCache
+from repro.errors import InputError
+
+
+def make(size=1024, line=64, assoc=2, policy=ReplacementPolicy.LRU):
+    return SetAssociativeCache(size, line, assoc, policy)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        c = make(1024, 64, 2)
+        assert c.num_sets == 8
+        assert c.size_bytes == 1024
+
+    def test_fully_associative(self):
+        c = make(512, 64, 8)
+        assert c.num_sets == 1
+
+    def test_odd_assoc_floors_capacity(self):
+        c = make(1024, 64, 3)  # 16 lines -> 5 sets of 3 = 15 lines
+        assert c.num_sets == 5
+        assert c.size_bytes == 15 * 64
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(InputError):
+            make(line=48)
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(InputError):
+            make(size=1000)
+
+    def test_rejects_assoc_larger_than_capacity(self):
+        with pytest.raises(InputError):
+            make(size=128, line=64, assoc=4)
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        hit, _ = c.access(0)
+        assert not hit
+        hit, _ = c.access(4)  # same line
+        assert hit
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+
+    def test_different_lines_miss_separately(self):
+        c = make()
+        c.access(0)
+        hit, _ = c.access(64)
+        assert not hit
+
+    def test_miss_rate(self):
+        c = make()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(1 / 3)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_contains_probe_is_pure(self):
+        c = make()
+        c.access(0)
+        before = c.stats.accesses
+        assert c.contains(0)
+        assert not c.contains(4096)
+        assert c.stats.accesses == before
+
+
+class TestEvictionLRU:
+    def test_lru_victim(self):
+        # 2-way set: fill both ways, touch the first, insert a third.
+        c = make(size=256, line=64, assoc=2)  # 2 sets
+        # lines 0, 2, 4 all map to set 0 (even line addresses)
+        c.access(0)        # line 0
+        c.access(2 * 64)   # line 2
+        c.access(0)        # touch line 0 (now MRU)
+        _, evicted = c.access(4 * 64)  # line 4 evicts line 2
+        assert c.stats.evictions == 1
+        hit, _ = c.access(0)
+        assert hit  # line 0 survived
+        hit, _ = c.access(2 * 64)
+        assert not hit  # line 2 was the LRU victim
+
+    def test_fifo_victim(self):
+        c = make(size=256, line=64, assoc=2, policy=ReplacementPolicy.FIFO)
+        c.access(0)
+        c.access(2 * 64)
+        c.access(0)  # FIFO ignores recency
+        c.access(4 * 64)  # evicts line 0 (oldest insertion)
+        hit, _ = c.access(0)
+        assert not hit
+
+    def test_eviction_returns_line_address(self):
+        c = make(size=128, line=64, assoc=1)  # 2 direct-mapped sets
+        c.access(0)
+        _, evicted = c.access(2 * 64)
+        assert evicted == 0  # line address 0 evicted
+
+
+class TestDirtyAndWritebacks:
+    def test_dirty_eviction_counts_writeback(self):
+        c = make(size=128, line=64, assoc=1)
+        c.access(0, write=True)
+        c.access(2 * 64)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = make(size=128, line=64, assoc=1)
+        c.access(0)
+        c.access(2 * 64)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = make(size=128, line=64, assoc=1)
+        c.access(0)           # clean fill
+        c.access(4, write=True)  # write hit dirties the line
+        c.access(2 * 64)      # eviction must write back
+        assert c.stats.writebacks == 1
+
+    def test_flush_counts_dirty_lines(self):
+        c = make()
+        c.access(0, write=True)
+        c.access(64, write=True)
+        c.access(128)
+        assert c.flush() == 2
+        assert c.resident_lines == 0
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = make()
+        c.access(0)
+        assert c.invalidate(0)
+        hit, _ = c.access(0)
+        assert not hit
+
+    def test_invalidate_absent(self):
+        c = make()
+        assert not c.invalidate(0)
+
+
+class TestWorkingSetBehaviour:
+    def test_fits_in_cache_no_capacity_misses(self):
+        c = make(size=1024, line=64, assoc=16)  # fully associative
+        for rep in range(3):
+            for addr in range(0, 1024, 64):
+                c.access(addr)
+        assert c.stats.misses == 16  # compulsory only
+
+    def test_thrash_when_oversized(self):
+        c = make(size=256, line=64, assoc=4)  # fully assoc, 4 lines
+        # cyclic working set of 5 lines under LRU: always misses
+        for rep in range(4):
+            for addr in range(0, 5 * 64, 64):
+                c.access(addr)
+        assert c.stats.hits == 0

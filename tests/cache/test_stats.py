@@ -1,0 +1,56 @@
+"""Unit tests for the cache statistics containers."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, HierarchyStats
+
+
+class TestCacheStats:
+    def test_rates_empty(self):
+        s = CacheStats()
+        assert s.accesses == 0
+        assert s.miss_rate == 0.0
+        assert s.hit_rate == 0.0
+
+    def test_rates(self):
+        s = CacheStats(hits=3, misses=1)
+        assert s.accesses == 4
+        assert s.miss_rate == pytest.approx(0.25)
+        assert s.hit_rate == pytest.approx(0.75)
+
+    def test_add_accumulates(self):
+        s1 = CacheStats(hits=1, misses=2, evictions=3, writebacks=4)
+        s2 = CacheStats(hits=10, misses=20, evictions=30, writebacks=40)
+        s1.add(s2)
+        assert (s1.hits, s1.misses, s1.evictions, s1.writebacks) == (
+            11, 22, 33, 44
+        )
+
+
+class TestHierarchyStats:
+    def test_total_accesses_is_l1(self):
+        h = HierarchyStats()
+        h.l1.hits = 7
+        h.l1.misses = 3
+        assert h.total_accesses == 10
+
+    def test_miss_per_kilo_levels(self):
+        h = HierarchyStats()
+        h.l1.hits = 900
+        h.l1.misses = 100
+        h.l2.misses = 50
+        h.l3.misses = 20
+        h.dram_accesses = 10
+        assert h.miss_per_kilo_access("l1") == pytest.approx(100.0)
+        assert h.miss_per_kilo_access("l2") == pytest.approx(50.0)
+        assert h.miss_per_kilo_access("l3") == pytest.approx(20.0)
+        assert h.miss_per_kilo_access("dram") == pytest.approx(10.0)
+
+    def test_miss_per_kilo_empty(self):
+        assert HierarchyStats().miss_per_kilo_access() == 0.0
+
+    def test_unknown_level_raises(self):
+        h = HierarchyStats()
+        h.l1.hits = 1
+        with pytest.raises(KeyError):
+            h.miss_per_kilo_access("l9")

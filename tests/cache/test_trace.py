@@ -1,0 +1,75 @@
+"""Tests for trace capture and address mapping."""
+
+import pytest
+
+from repro.cache.trace import (
+    Access,
+    AddressMap,
+    TraceBuilder,
+    interleave_round_robin,
+)
+from repro.errors import InputError
+
+
+class TestAddressMap:
+    def test_layout_is_aligned_and_disjoint(self):
+        amap = AddressMap({"A": 10, "B": 10}, element_bytes=4, alignment=64)
+        a_end = amap.byte_address("A", 9) + 4
+        b_start = amap.byte_address("B", 0)
+        assert b_start >= a_end
+        assert b_start % 64 == 0
+
+    def test_element_addressing(self):
+        amap = AddressMap({"A": 4}, element_bytes=8)
+        assert amap.byte_address("A", 2) - amap.byte_address("A", 1) == 8
+
+    def test_bounds(self):
+        amap = AddressMap({"A": 4})
+        with pytest.raises(InputError):
+            amap.byte_address("A", 4)
+        with pytest.raises(InputError):
+            amap.byte_address("A", -1)
+
+    def test_unknown_array(self):
+        with pytest.raises(InputError):
+            AddressMap({"A": 1}).byte_address("B", 0)
+
+    def test_footprint(self):
+        amap = AddressMap({"A": 16}, element_bytes=4, alignment=4096)
+        assert amap.footprint_bytes() == 64
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(InputError):
+            AddressMap({"A": -1})
+
+
+class TestTraceBuilder:
+    def test_streams_per_core(self):
+        tb = TraceBuilder(2)
+        tb.read(0, "A", 1)
+        tb.write(1, "S", 2)
+        assert tb.streams[0] == [Access(0, "A", 1, False)]
+        assert tb.streams[1] == [Access(1, "S", 2, True)]
+        assert tb.total_accesses == 2
+
+    def test_core_count_validated(self):
+        with pytest.raises(InputError):
+            TraceBuilder(0)
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        s0 = [Access(0, "A", i) for i in range(3)]
+        s1 = [Access(1, "A", 10 + i) for i in range(2)]
+        merged = list(interleave_round_robin([s0, s1]))
+        indices = [a.index for a in merged]
+        assert indices == [0, 10, 1, 11, 2]
+
+    def test_unequal_streams_drain(self):
+        s0 = [Access(0, "A", 0)]
+        s1 = [Access(1, "A", i) for i in range(4)]
+        merged = list(interleave_round_robin([s0, s1]))
+        assert len(merged) == 5
+
+    def test_empty_streams(self):
+        assert list(interleave_round_robin([[], []])) == []

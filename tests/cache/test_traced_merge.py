@@ -1,0 +1,117 @@
+"""Tests for the merge trace emitters."""
+
+import numpy as np
+import pytest
+
+from repro.cache.traced_merge import (
+    trace_parallel_merge,
+    trace_segmented_merge,
+    trace_sequential_merge,
+)
+from repro.errors import NotSortedError
+
+
+def pair(seed=0, na=40, nb=30, hi=50):
+    g = np.random.default_rng(seed)
+    return np.sort(g.integers(0, hi, na)), np.sort(g.integers(0, hi, nb))
+
+
+class TestSequentialTrace:
+    def test_write_count_equals_output_length(self):
+        a, b = pair()
+        trace = trace_sequential_merge(a, b)
+        writes = [t for t in trace if t.write]
+        assert len(writes) == len(a) + len(b)
+        assert all(t.array == "S" for t in writes)
+
+    def test_output_written_in_order(self):
+        a, b = pair(1)
+        trace = trace_sequential_merge(a, b)
+        s_indices = [t.index for t in trace if t.write]
+        assert s_indices == list(range(len(a) + len(b)))
+
+    def test_every_input_element_read(self):
+        a, b = pair(2)
+        trace = trace_sequential_merge(a, b)
+        a_reads = {t.index for t in trace if t.array == "A"}
+        b_reads = {t.index for t in trace if t.array == "B"}
+        assert a_reads == set(range(len(a)))
+        assert b_reads == set(range(len(b)))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            trace_sequential_merge(np.array([2, 1]), np.array([3]))
+
+
+class TestParallelTrace:
+    def test_each_output_written_once(self):
+        a, b = pair(3)
+        trace = trace_parallel_merge(a, b, 4)
+        s_indices = [t.index for t in trace if t.write and t.array == "S"]
+        assert sorted(s_indices) == list(range(len(a) + len(b)))
+
+    def test_cores_write_disjoint_ranges(self):
+        a, b = pair(4)
+        trace = trace_parallel_merge(a, b, 4)
+        by_core = {}
+        for t in trace:
+            if t.write:
+                by_core.setdefault(t.core, set()).add(t.index)
+        cores = sorted(by_core)
+        for c1 in cores:
+            for c2 in cores:
+                if c1 < c2:
+                    assert not (by_core[c1] & by_core[c2])
+
+    def test_includes_search_reads(self):
+        a, b = pair(5)
+        seq_reads = sum(1 for t in trace_sequential_merge(a, b) if not t.write)
+        par_reads = sum(1 for t in trace_parallel_merge(a, b, 4) if not t.write)
+        assert par_reads > seq_reads  # binary-search probes add reads
+
+    def test_interleaved_core_pattern(self):
+        a, b = pair(6, na=32, nb=32)
+        trace = trace_parallel_merge(a, b, 4)
+        first_cores = [t.core for t in trace[:4]]
+        assert len(set(first_cores)) > 1  # concurrent progress
+
+
+class TestSegmentedTrace:
+    def test_each_output_written_once(self):
+        a, b = pair(7)
+        trace = trace_segmented_merge(a, b, 3, L=8)
+        s_indices = [t.index for t in trace if t.write and t.array == "S"]
+        assert sorted(s_indices) == list(range(len(a) + len(b)))
+
+    def test_block_locality(self):
+        # within the trace, S writes are globally ordered block by block
+        a, b = pair(8)
+        L = 10
+        trace = trace_segmented_merge(a, b, 2, L=L)
+        s_indices = [t.index for t in trace if t.write and t.array == "S"]
+        # each block's indices all precede the next block's
+        blocks = [s_indices[i : i + L] for i in range(0, len(s_indices), L)]
+        for b1, b2 in zip(blocks, blocks[1:]):
+            assert max(b1) < min(b2)
+
+    def test_reads_confined_to_windows(self):
+        a, b = pair(9, na=64, nb=64)
+        L = 8
+        trace = trace_segmented_merge(a, b, 2, L=L)
+        # scan A-read indices: the spread inside any contiguous chunk of
+        # the trace bounded by one block is at most L
+        current_block_reads = []
+        max_spread = 0
+        s_written = 0
+        for t in trace:
+            if t.write and t.array == "S":
+                s_written += 1
+                if s_written % L == 0 and current_block_reads:
+                    max_spread = max(
+                        max_spread,
+                        max(current_block_reads) - min(current_block_reads),
+                    )
+                    current_block_reads = []
+            elif t.array == "A" and not t.write:
+                current_block_reads.append(t.index)
+        assert max_spread <= L

@@ -1,0 +1,79 @@
+"""Tests for the traced full sorts (cache-aware vs oblivious)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.trace import AddressMap
+from repro.cache.traced_sort import (
+    trace_cache_aware_sort,
+    trace_recursive_mergesort,
+)
+
+
+def replay_misses(trace, n, cache_elements, line=32, assoc=4):
+    amap = AddressMap({"X": n, "Y": n}, element_bytes=4)
+    cache = SetAssociativeCache(cache_elements * 4, line, assoc)
+    for a in trace:
+        cache.access(amap.byte_address(a.array, a.index), a.write)
+    return cache.stats.misses
+
+
+class TestRecursiveMergesortTrace:
+    def test_sorted_output(self):
+        g = np.random.default_rng(0)
+        x = g.integers(0, 999, 500)
+        _, out = trace_recursive_mergesort(x)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_access_count_n_log_n(self):
+        n = 1 << 10
+        x = np.random.default_rng(1).integers(0, 10**6, n)
+        trace, _ = trace_recursive_mergesort(x)
+        # per level: 2 reads + write (merge) + read + write (copy back)
+        # ~ 5N accesses per level x log2 N levels
+        levels = 10
+        assert 4 * n * levels <= len(trace) <= 6 * n * levels
+
+    def test_trivial_inputs(self):
+        trace, out = trace_recursive_mergesort(np.array([5]))
+        assert trace == []
+        np.testing.assert_array_equal(out, [5])
+
+    def test_input_not_mutated(self):
+        x = np.array([3, 1, 2])
+        x0 = x.copy()
+        trace_recursive_mergesort(x)
+        np.testing.assert_array_equal(x, x0)
+
+
+class TestCacheAwareSortTrace:
+    def test_sorted_output(self):
+        g = np.random.default_rng(2)
+        x = g.integers(0, 999, 700)
+        _, out = trace_cache_aware_sort(x, 4, 128)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_aware_beats_oblivious_on_tight_cache(self):
+        g = np.random.default_rng(3)
+        n = 1 << 12
+        cache_elements = 1 << 9  # data is 8x the cache
+        x = g.integers(0, 10**6, n)
+        t_obl, _ = trace_recursive_mergesort(x)
+        t_aw, _ = trace_cache_aware_sort(x, 4, cache_elements)
+        m_obl = replay_misses(t_obl, n, cache_elements)
+        m_aw = replay_misses(t_aw, n, cache_elements)
+        assert m_aw < m_obl
+
+    def test_equal_when_data_fits_in_cache(self):
+        # with everything resident, both pay only compulsory misses
+        g = np.random.default_rng(4)
+        n = 256
+        x = g.integers(0, 999, n)
+        t_obl, _ = trace_recursive_mergesort(x)
+        t_aw, _ = trace_cache_aware_sort(x, 2, 4 * n)
+        m_obl = replay_misses(t_obl, n, 8 * n)
+        m_aw = replay_misses(t_aw, n, 8 * n)
+        floor = 2 * n * 4 // 32
+        assert m_obl == floor
+        assert m_aw == floor

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that draw data inline."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[0, 1, 2, 17])
+def sorted_pair_random(request) -> tuple[np.ndarray, np.ndarray]:
+    """Several deterministic random sorted pairs of unequal lengths."""
+    g = np.random.default_rng(request.param)
+    a = np.sort(g.integers(0, 100, size=int(g.integers(0, 60))))
+    b = np.sort(g.integers(0, 100, size=int(g.integers(1, 60))))
+    return a, b
+
+
+def reference_merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ground-truth stable merge: mergesort over concatenation.
+
+    Concatenating A before B and running a stable sort yields exactly
+    the A-before-equal-B order every kernel must produce.
+    """
+    return np.sort(np.concatenate([a, b]), kind="mergesort")
+
+
+def tagged_reference_merge(a, b) -> list[tuple]:
+    """Stable merge of (value, source, index) tuples for stability checks."""
+    tagged = [(v, 0, i) for i, v in enumerate(a)] + [
+        (v, 1, j) for j, v in enumerate(b)
+    ]
+    return sorted(tagged, key=lambda t: (t[0], t[1], t[2]))

@@ -1,0 +1,130 @@
+"""Tests for the in-place (SymMerge) merge."""
+
+import numpy as np
+import pytest
+
+from repro.core.inplace import merge_inplace, merge_inplace_parallel, rotate
+from repro.errors import InputError, NotSortedError
+
+
+class TestRotate:
+    def test_basic_rotation(self):
+        arr = np.array([1, 2, 3, 4, 5])
+        rotate(arr, 0, 2, 5)
+        np.testing.assert_array_equal(arr, [3, 4, 5, 1, 2])
+
+    def test_identity_rotations(self):
+        arr = np.array([1, 2, 3])
+        rotate(arr, 1, 1, 3)  # empty left block
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+        rotate(arr, 0, 3, 3)  # empty right block
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+
+    def test_bounds_validated(self):
+        with pytest.raises(InputError):
+            rotate(np.array([1, 2]), 0, 3, 2)
+
+
+class TestMergeInplace:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random(self, seed):
+        g = np.random.default_rng(seed)
+        n1, n2 = int(g.integers(0, 80)), int(g.integers(0, 80))
+        arr = np.concatenate([
+            np.sort(g.integers(0, 30, n1)),
+            np.sort(g.integers(0, 30, n2)),
+        ])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace(arr, n1)
+        np.testing.assert_array_equal(arr, ref)
+
+    def test_empty_runs(self):
+        arr = np.array([1, 2, 3])
+        merge_inplace(arr, 0)
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+        merge_inplace(arr, 3)
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+
+    def test_single_element_runs(self):
+        arr = np.array([5, 1])
+        merge_inplace(arr, 1)
+        np.testing.assert_array_equal(arr, [1, 5])
+
+    def test_sub_range_interface(self):
+        arr = np.array([99, 2, 6, 1, 7, 99])
+        merge_inplace(arr, mid=3, lo=1, hi=5)
+        np.testing.assert_array_equal(arr, [99, 1, 2, 6, 7, 99])
+
+    def test_all_duplicates(self):
+        arr = np.full(40, 7)
+        merge_inplace(arr, 17)
+        np.testing.assert_array_equal(arr, np.full(40, 7))
+
+    def test_disjoint_ranges(self):
+        arr = np.concatenate([np.arange(50, 100), np.arange(50)])
+        merge_inplace(arr, 50)
+        np.testing.assert_array_equal(arr, np.arange(100))
+
+    def test_unsorted_run_rejected(self):
+        with pytest.raises(NotSortedError):
+            merge_inplace(np.array([3, 1, 2]), 2)
+
+    def test_bad_bounds(self):
+        with pytest.raises(InputError):
+            merge_inplace(np.array([1, 2]), 5)
+
+    def test_no_allocation_of_output(self):
+        # the merge must happen in the caller's buffer
+        arr = np.array([1, 3, 2, 4])
+        view = arr  # same object
+        merge_inplace(arr, 2)
+        assert view is arr
+        np.testing.assert_array_equal(arr, [1, 2, 3, 4])
+
+    def test_large(self):
+        g = np.random.default_rng(42)
+        a = np.sort(g.integers(0, 10**6, 20_000))
+        b = np.sort(g.integers(0, 10**6, 15_000))
+        arr = np.concatenate([a, b])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace(arr, 20_000)
+        np.testing.assert_array_equal(arr, ref)
+
+
+class TestMergeInplaceParallel:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_random(self, p):
+        g = np.random.default_rng(p * 11)
+        n1, n2 = int(g.integers(0, 150)), int(g.integers(0, 150))
+        arr = np.concatenate([
+            np.sort(g.integers(0, 40, n1)),
+            np.sort(g.integers(0, 40, n2)),
+        ])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace_parallel(arr, n1, p)
+        np.testing.assert_array_equal(arr, ref)
+
+    def test_threads_backend(self):
+        g = np.random.default_rng(5)
+        a = np.sort(g.integers(0, 999, 5000))
+        b = np.sort(g.integers(0, 999, 4000))
+        arr = np.concatenate([a, b])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace_parallel(arr, 5000, 4, backend="threads")
+        np.testing.assert_array_equal(arr, ref)
+
+    def test_matches_sequential_inplace(self):
+        g = np.random.default_rng(6)
+        arr1 = np.concatenate([
+            np.sort(g.integers(0, 20, 77)), np.sort(g.integers(0, 20, 55))
+        ])
+        arr2 = arr1.copy()
+        merge_inplace(arr1, 77)
+        merge_inplace_parallel(arr2, 77, 5)
+        np.testing.assert_array_equal(arr1, arr2)
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            merge_inplace_parallel(np.array([1, 2]), 5, 2)
+        with pytest.raises(InputError):
+            merge_inplace_parallel(np.array([1, 2]), 1, 0)

@@ -1,0 +1,120 @@
+"""Tests for argmerge / merge_by_key / take_merged."""
+
+import numpy as np
+import pytest
+
+from repro.core.keyed import argmerge, merge_by_key, take_merged
+from repro.errors import InputError, NotSortedError
+
+from ..conftest import reference_merge
+
+
+class TestArgmerge:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_permutation_reproduces_merge(self, seed):
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 40, 30))
+        b = np.sort(g.integers(0, 40, 25))
+        idx = argmerge(a, b)
+        np.testing.assert_array_equal(
+            np.concatenate([a, b])[idx], reference_merge(a, b)
+        )
+
+    def test_is_a_permutation(self, sorted_pair_random):
+        a, b = sorted_pair_random
+        idx = argmerge(a, b)
+        assert sorted(idx) == list(range(len(a) + len(b)))
+
+    def test_ties_pick_a_indices_first(self):
+        a = np.array([5, 5])
+        b = np.array([5])
+        idx = argmerge(a, b)
+        np.testing.assert_array_equal(idx, [0, 1, 2])  # A's 5s, then B's
+
+    def test_empty_sides(self):
+        np.testing.assert_array_equal(
+            argmerge(np.array([], dtype=int), np.array([1, 2])), [0, 1]
+        )
+        np.testing.assert_array_equal(
+            argmerge(np.array([1, 2]), np.array([], dtype=int)), [0, 1]
+        )
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            argmerge(np.array([2, 1]), np.array([3]))
+
+
+class TestTakeMerged:
+    def test_applies_permutation(self):
+        a = np.array([1, 3])
+        b = np.array([2])
+        idx = argmerge(a, b)
+        out = take_merged(np.array([10, 30]), np.array([20]), idx)
+        np.testing.assert_array_equal(out, [10, 20, 30])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InputError):
+            take_merged(np.array([1]), np.array([2]), np.array([0]))
+
+
+class TestMergeByKey:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_values_follow_keys(self, p):
+        g = np.random.default_rng(p)
+        ak = np.sort(g.integers(0, 100, 50))
+        bk = np.sort(g.integers(0, 100, 40))
+        av = np.arange(50) * 10
+        bv = np.arange(40) * 10 + 1
+        mk, mv = merge_by_key(ak, bk, av, bv, p=p, backend="serial")
+        np.testing.assert_array_equal(mk, reference_merge(ak, bk))
+        # every (key, value) pair must survive intact
+        got = sorted(zip(mk.tolist(), mv.tolist()))
+        want = sorted(
+            list(zip(ak.tolist(), av.tolist())) + list(zip(bk.tolist(), bv.tolist()))
+        )
+        assert got == want
+
+    def test_stability_a_payload_first(self):
+        mk, mv = merge_by_key(
+            np.array([7]), np.array([7]), np.array(["a"]), np.array(["b"])
+        )
+        np.testing.assert_array_equal(mk, [7, 7])
+        assert list(mv) == ["a", "b"]
+
+    def test_parallel_equals_serial(self):
+        g = np.random.default_rng(9)
+        ak = np.sort(g.integers(0, 20, 60))  # heavy duplicates
+        bk = np.sort(g.integers(0, 20, 55))
+        av, bv = np.arange(60), np.arange(100, 155)
+        k1, v1 = merge_by_key(ak, bk, av, bv, p=1)
+        k8, v8 = merge_by_key(ak, bk, av, bv, p=8, backend="threads")
+        np.testing.assert_array_equal(k1, k8)
+        np.testing.assert_array_equal(v1, v8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InputError):
+            merge_by_key(np.array([1, 2]), np.array([3]), np.array([1]),
+                         np.array([1]))
+        with pytest.raises(InputError):
+            merge_by_key(np.array([1]), np.array([3]), np.array([1]),
+                         np.array([]))
+
+    def test_unsorted_keys_rejected(self):
+        with pytest.raises(NotSortedError):
+            merge_by_key(np.array([2, 1]), np.array([3]), np.array([1, 2]),
+                         np.array([4]))
+
+    def test_float_payloads(self):
+        mk, mv = merge_by_key(
+            np.array([1, 5]), np.array([3]), np.array([0.1, 0.5]),
+            np.array([0.3]),
+        )
+        np.testing.assert_array_equal(mk, [1, 3, 5])
+        np.testing.assert_allclose(mv, [0.1, 0.3, 0.5])
+
+    def test_empty_inputs(self):
+        mk, mv = merge_by_key(
+            np.array([], dtype=int), np.array([], dtype=int),
+            np.array([], dtype=int), np.array([], dtype=int),
+        )
+        assert len(mk) == len(mv) == 0

@@ -1,0 +1,161 @@
+"""Tests for the Section II reference model (merge matrix & path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge_matrix import (
+    MergeMatrix,
+    build_merge_path,
+    path_moves,
+    path_to_merged,
+)
+from repro.errors import NotSortedError
+from repro.types import PathPoint
+
+from ..conftest import reference_merge
+
+
+class TestMergeMatrixContents:
+    def test_definition_1(self):
+        a = np.array([1, 4, 6])
+        b = np.array([2, 3, 5])
+        m = MergeMatrix(a, b)
+        for i in range(3):
+            for j in range(3):
+                assert m[i, j] == (a[i] > b[j])
+
+    def test_shape(self):
+        m = MergeMatrix([1, 2], [1, 2, 3])
+        assert m.shape == (2, 3)
+
+    def test_proposition_10_ones_propagate_down_left(self):
+        # M[i,j]=1 implies everything below and to the left is 1.
+        g = np.random.default_rng(0)
+        a = np.sort(g.integers(0, 20, 12))
+        b = np.sort(g.integers(0, 20, 9))
+        m = MergeMatrix(a, b)
+        rows, cols = m.shape
+        for i in range(rows):
+            for j in range(cols):
+                if m[i, j]:
+                    for k in range(i, rows):
+                        for l in range(0, j + 1):
+                            assert m[k, l]
+
+    def test_proposition_11_zeros_propagate_up_right(self):
+        g = np.random.default_rng(1)
+        a = np.sort(g.integers(0, 20, 10))
+        b = np.sort(g.integers(0, 20, 11))
+        m = MergeMatrix(a, b)
+        rows, cols = m.shape
+        for i in range(rows):
+            for j in range(cols):
+                if not m[i, j]:
+                    for k in range(0, i + 1):
+                        for l in range(j, cols):
+                            assert not m[k, l]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_corollary_12_monotone_cross_diagonals(self, seed):
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 30, int(g.integers(1, 15))))
+        b = np.sort(g.integers(0, 30, int(g.integers(1, 15))))
+        m = MergeMatrix(a, b)
+        for d in range(1, len(a) + len(b)):
+            assert m.diagonal_is_monotone(d)
+
+    def test_rejects_unsorted_a(self):
+        with pytest.raises(NotSortedError):
+            MergeMatrix([3, 1], [1, 2])
+
+    def test_rejects_unsorted_b(self):
+        with pytest.raises(NotSortedError):
+            MergeMatrix([1, 3], [2, 1])
+
+    def test_cross_diagonal_lengths(self):
+        m = MergeMatrix([1, 2, 3], [1, 2])
+        # diagonal d has min(d, ...) cells; total cells = |A|*|B|
+        total = sum(len(m.cross_diagonal(d)) for d in range(1, 5))
+        assert total == 6
+
+
+class TestMergePathConstruction:
+    def test_path_endpoints(self):
+        a = np.array([1, 3])
+        b = np.array([2, 4])
+        path = build_merge_path(a, b)
+        assert path[0] == PathPoint(0, 0)
+        assert path[-1] == PathPoint(2, 2)
+        assert len(path) == 5
+
+    def test_lemma_8_point_i_on_diagonal_i(self):
+        g = np.random.default_rng(3)
+        a = np.sort(g.integers(0, 50, 20))
+        b = np.sort(g.integers(0, 50, 15))
+        path = build_merge_path(a, b)
+        for d, pt in enumerate(path):
+            assert pt.diagonal == d
+
+    def test_lemma_1_path_yields_merge(self, sorted_pair_random):
+        a, b = sorted_pair_random
+        path = build_merge_path(a, b)
+        merged = path_to_merged(a, b, path)
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+
+    def test_moves_only_down_or_right(self):
+        a = np.array([5, 6, 7])
+        b = np.array([1, 2, 3])
+        moves = path_moves(build_merge_path(a, b))
+        assert set(moves) <= {"D", "R"}
+        assert len(moves) == 6
+
+    def test_all_a_greater_path_goes_right_first(self):
+        # the intro's counterexample: path hugs the top edge (all B first)
+        a = np.array([10, 11, 12])
+        b = np.array([1, 2, 3])
+        assert path_moves(build_merge_path(a, b)) == "RRRDDD"
+
+    def test_all_b_greater_path_goes_down_first(self):
+        a = np.array([1, 2, 3])
+        b = np.array([10, 11, 12])
+        assert path_moves(build_merge_path(a, b)) == "DDDRRR"
+
+    def test_ties_consume_a_first(self):
+        a = np.array([5])
+        b = np.array([5])
+        assert path_moves(build_merge_path(a, b)) == "DR"
+
+    def test_empty_a(self):
+        path = build_merge_path(np.array([], dtype=int), np.array([1, 2]))
+        assert path_moves(path) == "RR"
+
+    def test_empty_b(self):
+        path = build_merge_path(np.array([1, 2]), np.array([], dtype=int))
+        assert path_moves(path) == "DD"
+
+    def test_both_empty(self):
+        path = build_merge_path(np.array([], dtype=int), np.array([], dtype=int))
+        assert path == [PathPoint(0, 0)]
+
+    def test_path_moves_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            path_moves([PathPoint(0, 0), PathPoint(1, 1)])
+
+
+class TestProposition13:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_path_intersection_matches_walked_path(self, seed):
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 12, 8))
+        b = np.sort(g.integers(0, 12, 6))
+        m = MergeMatrix(a, b)
+        path = set(build_merge_path(a, b))
+        for d in range(0, len(a) + len(b) + 1):
+            assert m.path_intersection(d) in path
+
+    def test_intersection_unique_per_diagonal(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([1, 2, 3, 4])
+        m = MergeMatrix(a, b)
+        pts = [m.path_intersection(d) for d in range(9)]
+        assert len(set(pts)) == 9

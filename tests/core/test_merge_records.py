@@ -1,0 +1,81 @@
+"""Tests for structured-array (record) merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.keyed import merge_records
+from repro.errors import InputError, NotSortedError
+
+DT = np.dtype([("ts", np.int64), ("host", "U8"), ("value", np.float64)])
+
+
+def rec(*rows):
+    return np.array(list(rows), dtype=DT)
+
+
+class TestMergeRecords:
+    def test_basic_merge_by_field(self):
+        a = rec((1, "a1", 0.1), (3, "a2", 0.3))
+        b = rec((2, "b1", 0.2), (4, "b2", 0.4))
+        out = merge_records(a, b, "ts")
+        np.testing.assert_array_equal(out["ts"], [1, 2, 3, 4])
+        assert list(out["host"]) == ["a1", "b1", "a2", "b2"]
+
+    def test_stability_on_equal_keys(self):
+        a = rec((3, "a1", 0.0), (3, "a2", 0.0))
+        b = rec((3, "b1", 0.0))
+        out = merge_records(a, b, "ts")
+        assert list(out["host"]) == ["a1", "a2", "b1"]
+
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_parallel_matches_serial(self, p):
+        g = np.random.default_rng(p)
+        n_a, n_b = 60, 45
+        a = np.empty(n_a, dtype=DT)
+        a["ts"] = np.sort(g.integers(0, 40, n_a))
+        a["host"] = [f"a{i}" for i in range(n_a)]
+        a["value"] = g.random(n_a)
+        b = np.empty(n_b, dtype=DT)
+        b["ts"] = np.sort(g.integers(0, 40, n_b))
+        b["host"] = [f"b{i}" for i in range(n_b)]
+        b["value"] = g.random(n_b)
+        serial = merge_records(a, b, "ts", p=1)
+        parallel = merge_records(a, b, "ts", p=p, backend="threads")
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_keys_sorted_overall(self):
+        g = np.random.default_rng(9)
+        a = np.empty(100, dtype=DT)
+        a["ts"] = np.sort(g.integers(0, 1000, 100))
+        b = np.empty(80, dtype=DT)
+        b["ts"] = np.sort(g.integers(0, 1000, 80))
+        out = merge_records(a, b, "ts", p=4)
+        assert np.all(out["ts"][:-1] <= out["ts"][1:])
+
+    def test_rejects_plain_arrays(self):
+        with pytest.raises(InputError, match="structured"):
+            merge_records(np.array([1, 2]), np.array([3]), "ts")
+
+    def test_rejects_mismatched_dtypes(self):
+        other = np.dtype([("ts", np.int64), ("x", np.int32)])
+        a = rec((1, "a", 0.0))
+        b = np.array([(2, 5)], dtype=other)
+        with pytest.raises(InputError, match="match"):
+            merge_records(a, b, "ts")
+
+    def test_rejects_missing_key(self):
+        a = rec((1, "a", 0.0))
+        with pytest.raises(InputError, match="key field"):
+            merge_records(a, a, "nope")
+
+    def test_rejects_unsorted_key(self):
+        a = rec((3, "a", 0.0), (1, "b", 0.0))
+        b = rec((2, "c", 0.0))
+        with pytest.raises(NotSortedError):
+            merge_records(a, b, "ts")
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=DT)
+        out = merge_records(empty, empty, "ts")
+        assert len(out) == 0
+        assert out.dtype == DT

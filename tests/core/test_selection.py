@@ -1,0 +1,146 @@
+"""Tests for selection over unions of sorted arrays."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import kth_of_union, kth_of_union_many, union_rank
+from repro.errors import InputError, NotSortedError
+
+from ..conftest import reference_merge
+
+
+class TestKthOfUnion:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_merged_order(self, seed):
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 40, 25))
+        b = np.sort(g.integers(0, 40, 18))
+        merged = reference_merge(a, b)
+        for k in range(1, len(merged) + 1):
+            value, point = kth_of_union(a, b, k)
+            assert value == merged[k - 1]
+            assert point.diagonal == k
+            # split prefix multiset == merged prefix multiset
+            prefix = np.sort(np.concatenate([a[: point.i], b[: point.j]]))
+            np.testing.assert_array_equal(prefix, np.sort(merged[:k]))
+
+    def test_median_split(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([2, 4, 6, 8])
+        value, point = kth_of_union(a, b, 4)
+        assert value == 4
+        assert point.i + point.j == 4
+
+    def test_k_bounds(self):
+        a, b = np.array([1]), np.array([2])
+        with pytest.raises(InputError):
+            kth_of_union(a, b, 0)
+        with pytest.raises(InputError):
+            kth_of_union(a, b, 3)
+
+    def test_one_empty_array(self):
+        a = np.array([], dtype=int)
+        b = np.array([10, 20, 30])
+        assert kth_of_union(a, b, 2)[0] == 20
+
+    def test_ties_resolved_a_first(self):
+        a = np.array([5, 5])
+        b = np.array([5])
+        _, point = kth_of_union(a, b, 2)
+        assert (point.i, point.j) == (2, 0)
+
+
+class TestUnionRank:
+    def test_left_and_right(self):
+        arrays = [np.array([1, 2, 2, 3]), np.array([2, 4])]
+        assert union_rank(arrays, 2, "left") == 1
+        assert union_rank(arrays, 2, "right") == 4
+
+    def test_bad_side(self):
+        with pytest.raises(InputError):
+            union_rank([np.array([1])], 1, side="middle")
+
+
+class TestKthOfUnionMany:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_pooled_sort(self, seed):
+        g = np.random.default_rng(seed)
+        arrays = [
+            np.sort(g.integers(0, 30, int(g.integers(0, 20)))) for _ in range(4)
+        ]
+        if not sum(len(x) for x in arrays):
+            arrays.append(np.array([1]))
+        pooled = np.sort(np.concatenate(arrays))
+        for k in range(1, len(pooled) + 1, 3):
+            value, splits = kth_of_union_many(arrays, k)
+            assert value == pooled[k - 1]
+            assert sum(splits) == k
+            taken = np.sort(
+                np.concatenate([arr[:s] for arr, s in zip(arrays, splits)])
+            )
+            np.testing.assert_array_equal(taken, pooled[:k])
+
+    def test_tie_distribution_array_order(self):
+        arrays = [np.array([5, 5]), np.array([5, 5])]
+        _, splits = kth_of_union_many(arrays, 3)
+        assert splits == [2, 1]  # array 0's ties admitted first
+
+    def test_k_validation(self):
+        with pytest.raises(InputError):
+            kth_of_union_many([np.array([1])], 0)
+        with pytest.raises(InputError):
+            kth_of_union_many([np.array([1])], 2)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            kth_of_union_many([np.array([2, 1])], 1)
+
+    def test_two_array_case_agrees_with_kth_of_union(self):
+        g = np.random.default_rng(11)
+        a = np.sort(g.integers(0, 25, 15))
+        b = np.sort(g.integers(0, 25, 12))
+        for k in range(1, 28, 5):
+            v1, pt = kth_of_union(a, b, k)
+            v2, splits = kth_of_union_many([a, b], k)
+            assert v1 == v2
+            assert splits == [pt.i, pt.j]
+
+
+class TestTopkOfUnion:
+    from repro.core.selection import topk_of_union  # import check
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_merged_prefix(self, seed):
+        from repro.core.selection import topk_of_union
+
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 50, 30))
+        b = np.sort(g.integers(0, 50, 25))
+        merged = reference_merge(a, b)
+        for k in range(0, 56, 5):
+            np.testing.assert_array_equal(topk_of_union(a, b, k), merged[:k])
+
+    def test_k_zero_and_full(self):
+        from repro.core.selection import topk_of_union
+
+        a = np.array([1, 3])
+        b = np.array([2])
+        assert len(topk_of_union(a, b, 0)) == 0
+        np.testing.assert_array_equal(topk_of_union(a, b, 3), [1, 2, 3])
+
+    def test_k_out_of_range(self):
+        from repro.core.selection import topk_of_union
+
+        with pytest.raises(InputError):
+            topk_of_union(np.array([1]), np.array([2]), 3)
+
+    def test_cost_independent_of_tail(self):
+        from repro.core.selection import topk_of_union
+        from repro.types import MergeStats
+
+        a = np.arange(0, 2_000_000, 2)
+        b = np.arange(1, 2_000_001, 2)
+        stats = MergeStats()
+        out = topk_of_union(a, b, 10, stats=stats)
+        np.testing.assert_array_equal(out, np.arange(10))
+        assert stats.search_probes <= 21  # one log-bounded search only

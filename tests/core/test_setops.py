@@ -1,0 +1,104 @@
+"""Tests for sorted-set operations (std::set_* multiset semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.setops import (
+    include_counts,
+    set_difference,
+    set_intersection,
+    set_symmetric_difference,
+    set_union,
+)
+from repro.errors import NotSortedError
+
+
+def std_reference(a, b, op):
+    """Count-space reference straight from the C++ standard's spec."""
+    from collections import Counter
+
+    ca, cb = Counter(a.tolist()), Counter(b.tolist())
+    values = sorted(set(ca) | set(cb))
+    out = []
+    for v in values:
+        x, y = ca.get(v, 0), cb.get(v, 0)
+        count = {
+            "union": max(x, y),
+            "intersection": min(x, y),
+            "difference": max(x - y, 0),
+            "symmetric": abs(x - y),
+        }[op]
+        out.extend([v] * count)
+    return np.array(out, dtype=np.int64) if out else np.array([], dtype=np.int64)
+
+
+OPS = {
+    "union": set_union,
+    "intersection": set_intersection,
+    "difference": set_difference,
+    "symmetric": set_symmetric_difference,
+}
+
+
+class TestAgainstStdSemantics:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_multisets(self, op, seed):
+        g = np.random.default_rng(seed)
+        a = np.sort(g.integers(0, 15, int(g.integers(0, 40))))
+        b = np.sort(g.integers(0, 15, int(g.integers(0, 40))))
+        np.testing.assert_array_equal(OPS[op](a, b), std_reference(a, b, op))
+
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_empty_inputs(self, op):
+        e = np.array([], dtype=np.int64)
+        x = np.array([1, 2, 2])
+        np.testing.assert_array_equal(OPS[op](e, e), e)
+        if op in ("union", "difference"):
+            np.testing.assert_array_equal(OPS[op](x, e), x)
+
+    def test_union_distinct_counts(self):
+        out = set_union(np.array([2, 2, 2]), np.array([2]))
+        np.testing.assert_array_equal(out, [2, 2, 2])  # max(3, 1)
+
+    def test_intersection_disjoint(self):
+        assert len(set_intersection(np.array([1, 2]), np.array([3, 4]))) == 0
+
+    def test_difference_identity(self):
+        a = np.array([1, 3, 3, 7])
+        assert len(set_difference(a, a)) == 0
+
+    def test_symmetric_is_union_minus_intersection(self):
+        g = np.random.default_rng(7)
+        a = np.sort(g.integers(0, 10, 30))
+        b = np.sort(g.integers(0, 10, 25))
+        sym = set_symmetric_difference(a, b)
+        u = set_union(a, b)
+        i = set_intersection(a, b)
+        assert len(sym) == len(u) - len(i)
+
+    def test_outputs_sorted(self):
+        g = np.random.default_rng(8)
+        a = np.sort(g.integers(0, 20, 50))
+        b = np.sort(g.integers(0, 20, 45))
+        for op in OPS.values():
+            out = op(a, b)
+            if len(out) > 1:
+                assert np.all(out[:-1] <= out[1:])
+
+    def test_floats(self):
+        a = np.array([0.5, 1.5, 1.5])
+        b = np.array([1.5, 2.5])
+        np.testing.assert_array_equal(set_union(a, b), [0.5, 1.5, 1.5, 2.5])
+
+
+class TestIncludeCounts:
+    def test_aligned_counts(self):
+        values, ca, cb = include_counts(np.array([1, 1, 3]), np.array([2, 3, 3]))
+        np.testing.assert_array_equal(values, [1, 2, 3])
+        np.testing.assert_array_equal(ca, [2, 0, 1])
+        np.testing.assert_array_equal(cb, [0, 1, 2])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            set_union(np.array([2, 1]), np.array([3]))

@@ -1,0 +1,125 @@
+"""Tests for the streaming (out-of-core) merge."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import ChunkFeeder, streaming_merge
+from repro.errors import InputError, NotSortedError
+
+from ..conftest import reference_merge
+
+
+def collect(gen):
+    blocks = list(gen)
+    return (np.concatenate(blocks) if blocks else np.array([])), blocks
+
+
+class TestStreamingMergeCorrectness:
+    @pytest.mark.parametrize("L", [1, 2, 7, 64, 10_000])
+    def test_random(self, L):
+        g = np.random.default_rng(L)
+        a = np.sort(g.integers(0, 500, 213))
+        b = np.sort(g.integers(0, 500, 187))
+        merged, blocks = collect(streaming_merge(iter(a), iter(b), L=L))
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+        assert all(len(blk) <= L for blk in blocks)
+
+    def test_generator_sources(self):
+        merged, _ = collect(
+            streaming_merge((i * 2 for i in range(50)),
+                            (i * 3 for i in range(40)), L=8)
+        )
+        ref = reference_merge(np.arange(0, 100, 2), np.arange(0, 120, 3))
+        np.testing.assert_array_equal(merged, ref)
+
+    def test_chunked_sources(self):
+        a = np.sort(np.random.default_rng(1).integers(0, 99, 100))
+        b = np.sort(np.random.default_rng(2).integers(0, 99, 90))
+        a_chunks = [a[i : i + 13] for i in range(0, 100, 13)]
+        b_chunks = [b[i : i + 7] for i in range(0, 90, 7)]
+        merged, _ = collect(streaming_merge(iter(a_chunks), iter(b_chunks), L=16))
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+
+    def test_empty_streams(self):
+        merged, blocks = collect(streaming_merge(iter([]), iter([]), L=4))
+        assert len(merged) == 0
+        assert blocks == []
+
+    def test_one_empty_stream(self):
+        merged, _ = collect(streaming_merge(iter([]), iter([1, 2, 3]), L=2))
+        np.testing.assert_array_equal(merged, [1, 2, 3])
+
+    def test_wildly_unequal_lengths(self):
+        a = np.array([500])
+        b = np.arange(1000)
+        merged, _ = collect(streaming_merge(iter(a), iter(b), L=32))
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+
+    def test_stability_ties(self):
+        # floats from A, ints from B would promote; instead verify
+        # count/ordering of equal keys survives blocking
+        a = np.array([5] * 10)
+        b = np.array([5] * 7)
+        merged, _ = collect(streaming_merge(iter(a), iter(b), L=3))
+        assert len(merged) == 17
+        assert set(merged) == {5}
+
+    def test_blocks_full_until_tail(self):
+        a = np.arange(0, 40, 2)
+        b = np.arange(1, 41, 2)
+        _, blocks = collect(streaming_merge(iter(a), iter(b), L=8))
+        assert [len(blk) for blk in blocks[:-1]] == [8] * (len(blocks) - 1)
+
+
+class TestStreamingValidation:
+    def test_disorder_detected_with_global_index(self):
+        source = iter([1, 2, 3, 2, 5])
+        with pytest.raises(NotSortedError) as exc:
+            collect(streaming_merge(source, iter([]), L=16))
+        assert exc.value.index == 2  # element 3 > element at index 3
+
+    def test_disorder_across_chunk_boundary(self):
+        chunks = iter([np.array([1, 5]), np.array([4, 9])])
+        with pytest.raises(NotSortedError):
+            collect(streaming_merge(chunks, iter([]), L=16))
+
+    def test_disorder_in_b_stream(self):
+        with pytest.raises(NotSortedError) as exc:
+            collect(streaming_merge(iter([1]), iter([3, 1]), L=4))
+        assert exc.value.name == "B"
+
+    def test_bad_L(self):
+        with pytest.raises(InputError):
+            collect(streaming_merge(iter([1]), iter([2]), L=0))
+
+    def test_disorder_beyond_first_window_still_caught(self):
+        # the bad element arrives only after several refills
+        source = iter(list(range(100)) + [5])
+        with pytest.raises(NotSortedError):
+            collect(streaming_merge(source, iter([]), L=8))
+
+
+class TestChunkFeeder:
+    def test_fill_and_consume(self):
+        f = ChunkFeeder(iter([1, 2, 3, 4]), "A")
+        f.fill(2)
+        assert f.buffered == 2
+        f.consume(1)
+        f.fill(3)
+        assert f.buffered == 3
+        assert not f.exhausted  # window full before the source ended
+        f.consume(3)
+        f.fill(3)
+        assert f.buffered == 0
+        assert f.exhausted
+
+    def test_window_dtype(self):
+        f = ChunkFeeder(iter([1, 2]), "A", dtype=np.int32)
+        f.fill(2)
+        assert f.window().dtype == np.int32
+
+    def test_empty_window(self):
+        f = ChunkFeeder(iter([]), "A")
+        f.fill(4)
+        assert f.buffered == 0
+        assert len(f.window()) == 0

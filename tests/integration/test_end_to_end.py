@@ -1,0 +1,146 @@
+"""Integration tests spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import SerialBackend, ThreadBackend
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.trace import AddressMap
+from repro.cache.traced_merge import trace_parallel_merge, trace_segmented_merge
+from repro.core.segmented_merge import block_length
+from repro.machine.specs import dell_t610
+from repro.machine.timing import TimingModel
+from repro.pram.merge_programs import counted_parallel_merge, run_parallel_merge_pram
+from repro.workloads.datasets import log_records, timeseries_shards
+from repro.workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
+
+
+class TestPublicAPI:
+    def test_top_level_exports_work(self):
+        a = np.array([1, 3, 5])
+        b = np.array([2, 4, 6])
+        np.testing.assert_array_equal(repro.merge(a, b), np.arange(1, 7))
+        np.testing.assert_array_equal(
+            repro.parallel_merge(a, b, 2, backend="serial"), np.arange(1, 7)
+        )
+        assert repro.__version__
+        assert "Merge Path" in repro.PAPER
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestFullPipelineConsistency:
+    """One workload through every merge implementation in the package."""
+
+    def test_all_implementations_agree(self):
+        from repro.baselines import (
+            akl_santoro_merge,
+            deo_sarkar_merge,
+            heap_kway_merge,
+            sv_merge,
+        )
+
+        a = sorted_uniform_ints(1000, 1)
+        b = sorted_uniform_ints(900, 2)
+        expected = np.sort(np.concatenate([a, b]), kind="mergesort")
+
+        outs = {
+            "merge": repro.merge(a, b),
+            "parallel4": repro.parallel_merge(a, b, 4, backend="serial"),
+            "threads": repro.parallel_merge(a, b, 4, backend="threads"),
+            "segmented": repro.segmented_parallel_merge(
+                a, b, 4, L=128, backend="serial"
+            ),
+            "sv": sv_merge(a, b, 4),
+            "akl": akl_santoro_merge(a, b, 4),
+            "deo": deo_sarkar_merge(a, b, 4),
+            "heap": heap_kway_merge([a, b]),
+            "kway": repro.kway_merge([a, b], 4, backend="serial"),
+            "pram": run_parallel_merge_pram(a[:100], b[:100], 4)[0],
+        }
+        for name, out in outs.items():
+            if name == "pram":
+                np.testing.assert_array_equal(
+                    out,
+                    np.sort(np.concatenate([a[:100], b[:100]]), kind="mergesort"),
+                    err_msg=name,
+                )
+            else:
+                np.testing.assert_array_equal(out, expected, err_msg=name)
+
+    def test_sorts_agree(self):
+        from repro.baselines import bitonic_sort
+
+        x = unsorted_uniform_ints(777, 3)
+        expected = np.sort(x)
+        np.testing.assert_array_equal(
+            repro.parallel_merge_sort(x, 4, backend="serial"), expected
+        )
+        np.testing.assert_array_equal(
+            repro.cache_efficient_sort(x, 4, 128, backend="serial"), expected
+        )
+        np.testing.assert_array_equal(bitonic_sort(x), expected)
+
+
+class TestModelAndSimulatorConsistency:
+    def test_counted_matches_timing_model_assumption(self):
+        """The timing model's 4-cycles-per-element ideal must match the
+        counted mode's dominant term."""
+        a = sorted_uniform_ints(4096, 5)
+        b = sorted_uniform_ints(4096, 6)
+        counted = counted_parallel_merge(a, b, 4)
+        ideal = 4 * (len(a) + len(b)) / 4  # cycles per processor
+        assert counted.time == pytest.approx(ideal, rel=0.02)
+
+    def test_model_figure5_inputs_exact_counts(self):
+        model = TimingModel(dell_t610())
+        a = sorted_uniform_ints(1 << 12, 7)
+        b = sorted_uniform_ints(1 << 12, 8)
+        counted = counted_parallel_merge(a, b, 8)
+        t = model.merge_timings(
+            len(a), len(b), 8, max_cycles_per_processor=counted.time
+        )
+        assert t.total_s > 0
+        assert t.bound in ("compute", "memory")
+
+
+class TestScenarioDatasets:
+    def test_log_merge_join_scenario(self):
+        streams = log_records(2000, 4, sources=4)
+        merged = repro.kway_merge(streams, 4, backend="serial")
+        assert len(merged) == 2000
+        assert np.all(merged[:-1] <= merged[1:])
+
+    def test_timeseries_shard_scenario(self):
+        shards = timeseries_shards(1200, 4, 5)
+        merged = repro.kway_merge(shards, 2, backend="serial")
+        assert np.all(merged[:-1] <= merged[1:])
+
+
+class TestCacheStoryEndToEnd:
+    def test_spm_beats_basic_on_small_direct_mapped_cache(self):
+        a = sorted_uniform_ints(1 << 12, 9)
+        b = sorted_uniform_ints(1 << 12, 10)
+        amap = AddressMap({"A": len(a), "B": len(b), "S": len(a) + len(b)})
+        L = block_length(512)
+
+        def misses(trace, assoc):
+            c = SetAssociativeCache(2048, 64, assoc)
+            for acc in trace:
+                c.access(amap.byte_address(acc.array, acc.index), acc.write)
+            return c.stats.misses
+
+        basic = misses(trace_parallel_merge(a, b, 8), 1)
+        spm = misses(trace_segmented_merge(a, b, 8, L), 1)
+        assert spm < basic
+
+    def test_backend_swap_same_result(self):
+        a = sorted_uniform_ints(500, 11)
+        b = sorted_uniform_ints(600, 12)
+        with ThreadBackend(max_workers=3) as tb:
+            t_out = repro.parallel_merge(a, b, 3, backend=tb)
+        s_out = repro.parallel_merge(a, b, 3, backend=SerialBackend())
+        np.testing.assert_array_equal(t_out, s_out)

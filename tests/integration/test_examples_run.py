@@ -1,0 +1,38 @@
+"""Every example script must run to completion — examples are API docs,
+and stale ones are worse than none."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # examples narrate what they show
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "merge_join_logs.py",
+        "sorting_telemetry.py",
+        "cache_aware_merge.py",
+        "pram_classroom.py",
+        "streaming_pipeline.py",
+        "external_bigdata.py",
+        "gpu_model_tour.py",
+    } <= names

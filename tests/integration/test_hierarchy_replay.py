@@ -1,0 +1,91 @@
+"""Full-hierarchy replays: merges through the 3-level T610 model.
+
+Exercises the private-L1/L2 + shared-L3 + coherence path end to end and
+measures two effects invisible at the single-cache level:
+
+* **false sharing**: parallel merge segments write disjoint *elements*
+  but share cache *lines* at segment boundaries, so a handful of
+  coherence invalidations is expected — bounded by the boundary count,
+  not the data size (this is exactly the paper's "coherence mechanisms
+  can present an extremely high overhead" concern, quantified: for
+  merge path it is negligible by construction);
+* **inclusion-ish behaviour**: L1 hit rates stay high for streaming
+  merges because lines are used 16-elements-at-a-time consecutively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import build_hierarchy
+from repro.cache.trace import AddressMap
+from repro.cache.traced_merge import trace_parallel_merge, trace_sequential_merge
+from repro.machine.specs import dell_t610
+from repro.workloads.generators import sorted_uniform_ints
+
+N = 1 << 13
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return sorted_uniform_ints(N, 2000), sorted_uniform_ints(N, 2001)
+
+
+@pytest.fixture(scope="module")
+def amap():
+    return AddressMap({"A": N, "B": N, "S": 2 * N}, element_bytes=4)
+
+
+class TestSequentialThroughHierarchy:
+    def test_l1_hit_rate_high_for_streaming(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 1)
+        stats = h.replay(trace_sequential_merge(a, b), amap)
+        # 64B lines / 4B elements = 16 consecutive uses per line
+        assert stats.l1.hit_rate > 0.9
+
+    def test_dram_fills_equal_compulsory(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 1)
+        stats = h.replay(trace_sequential_merge(a, b), amap)
+        compulsory = (4 * N * 4) // 64
+        assert stats.dram_accesses == compulsory
+
+    def test_no_coherence_traffic_single_core(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 1)
+        stats = h.replay(trace_sequential_merge(a, b), amap)
+        assert stats.coherence_invalidations == 0
+
+
+class TestParallelThroughHierarchy:
+    @pytest.mark.parametrize("p", [2, 6, 12])
+    def test_false_sharing_bounded_by_boundaries(self, pair, amap, p):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), p)
+        stats = h.replay(trace_parallel_merge(a, b, p), amap)
+        # invalidations only at segment-boundary lines (plus search
+        # lines read by neighbours): O(p) lines, never O(N)
+        assert stats.coherence_invalidations <= 40 * p
+        assert stats.coherence_invalidations < stats.total_accesses / 100
+
+    def test_dram_fills_near_compulsory_with_big_l3(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 12)
+        stats = h.replay(trace_parallel_merge(a, b, 12), amap)
+        compulsory = (4 * N * 4) // 64
+        # 12 MB L3 dwarfs 128 KB of data: only compulsory fills, with a
+        # small boundary-duplication allowance
+        assert stats.dram_accesses <= compulsory * 1.05
+
+    def test_l1_hits_dominate_for_each_core(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 6)
+        stats = h.replay(trace_parallel_merge(a, b, 6), amap)
+        assert stats.l1.hit_rate > 0.85
+
+    def test_socket_split_uses_both_l3s(self, pair, amap):
+        a, b = pair
+        h = build_hierarchy(dell_t610(), 12)
+        h.replay(trace_parallel_merge(a, b, 12), amap)
+        assert h.l3s[0].stats.accesses > 0
+        assert h.l3s[1].stats.accesses > 0

@@ -1,0 +1,104 @@
+"""Stress tests: large inputs through every main code path.
+
+Sizes chosen so the whole module stays under ~30 s on one core while
+still exercising multi-segment, multi-block, multi-tile regimes far
+beyond the unit tests' toy sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache_sort import cache_efficient_sort
+from repro.core.keyed import merge_by_key
+from repro.core.kway import kway_merge
+from repro.core.merge_path import partition_merge_path
+from repro.core.merge_sort import parallel_merge_sort
+from repro.core.parallel_merge import parallel_merge
+from repro.core.segmented_merge import segmented_parallel_merge
+from repro.core.setops import set_intersection, set_union
+from repro.core.streaming import streaming_merge
+from repro.gpu import blocked_merge
+from repro.workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
+
+N = 1 << 20  # one mega-element per array
+
+
+@pytest.fixture(scope="module")
+def big_pair():
+    return sorted_uniform_ints(N, 1000), sorted_uniform_ints(N, 1001)
+
+
+@pytest.fixture(scope="module")
+def big_expected(big_pair):
+    a, b = big_pair
+    return np.sort(np.concatenate([a, b]), kind="mergesort")
+
+
+class TestMillionElementMerges:
+    def test_parallel_merge_threads(self, big_pair, big_expected):
+        a, b = big_pair
+        out = parallel_merge(a, b, 8, backend="threads")
+        np.testing.assert_array_equal(out, big_expected)
+
+    def test_segmented_merge(self, big_pair, big_expected):
+        a, b = big_pair
+        out = segmented_parallel_merge(a, b, 8, L=1 << 14, backend="serial")
+        np.testing.assert_array_equal(out, big_expected)
+
+    def test_blocked_gpu_merge(self, big_pair, big_expected):
+        a, b = big_pair
+        out, stats = blocked_merge(a, b, collect_stats=False)
+        np.testing.assert_array_equal(out, big_expected)
+
+    def test_streaming_merge(self, big_pair, big_expected):
+        a, b = big_pair
+        chunks_a = (a[i : i + 8192] for i in range(0, N, 8192))
+        chunks_b = (b[i : i + 8192] for i in range(0, N, 8192))
+        blocks = list(streaming_merge(chunks_a, chunks_b, L=16384))
+        np.testing.assert_array_equal(np.concatenate(blocks), big_expected)
+
+    def test_merge_by_key_large(self, big_pair):
+        a, b = big_pair
+        keys, values = merge_by_key(
+            a, b, np.arange(N), np.arange(N), p=4, backend="threads"
+        )
+        assert np.all(keys[:-1] <= keys[1:])
+        assert len(values) == 2 * N
+
+    def test_partition_many_segments(self, big_pair):
+        a, b = big_pair
+        part = partition_merge_path(a, b, 1024)
+        part.validate()
+        assert part.max_imbalance <= 1
+
+
+class TestLargeSorts:
+    def test_parallel_merge_sort_quarter_million(self):
+        x = unsorted_uniform_ints(1 << 18, 1002)
+        out = parallel_merge_sort(x, 8, backend="threads")
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_cache_efficient_sort_quarter_million(self):
+        x = unsorted_uniform_ints(1 << 18, 1003)
+        out = cache_efficient_sort(x, 4, 1 << 14, backend="serial")
+        np.testing.assert_array_equal(out, np.sort(x))
+
+
+class TestWideKway:
+    def test_64_way_merge(self):
+        g = np.random.default_rng(1004)
+        arrays = [np.sort(g.integers(0, 10**6, 10_000)) for _ in range(64)]
+        out = kway_merge(arrays, 8, backend="serial")
+        np.testing.assert_array_equal(
+            out, np.sort(np.concatenate(arrays), kind="mergesort")
+        )
+
+
+class TestLargeSetOps:
+    def test_union_and_intersection_large(self, big_pair):
+        a, b = big_pair
+        u = set_union(a, b)
+        i = set_intersection(a, b)
+        assert np.all(u[:-1] <= u[1:])
+        # inclusion–exclusion over multisets (max + min = sum of counts)
+        assert len(u) + len(i) == 2 * N

@@ -1,0 +1,84 @@
+"""Concurrency stress: the library used from multiple threads at once.
+
+A shared backend instance must serve concurrent merges without
+cross-talk — the scenario of a server handling parallel merge requests.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import ThreadBackend
+from repro.core.parallel_merge import parallel_merge
+from repro.workloads.generators import sorted_uniform_ints
+
+
+class TestConcurrentCallers:
+    def test_shared_thread_backend_no_crosstalk(self):
+        backend = ThreadBackend(max_workers=4)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4, timeout=30)
+
+        def worker(seed: int) -> None:
+            try:
+                a = sorted_uniform_ints(3000, seed)
+                b = sorted_uniform_ints(2500, seed + 100)
+                expected = np.sort(np.concatenate([a, b]), kind="mergesort")
+                barrier.wait()
+                for _ in range(5):
+                    out = parallel_merge(a, b, 3, backend=backend)
+                    np.testing.assert_array_equal(out, expected)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        backend.close()
+        assert errors == []
+
+    def test_concurrent_fresh_backends(self):
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            try:
+                a = sorted_uniform_ints(2000, seed)
+                b = sorted_uniform_ints(2000, seed + 7)
+                out = parallel_merge(a, b, 2, backend="threads")
+                assert np.all(out[:-1] <= out[1:])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+
+    def test_concurrent_streaming_merges(self):
+        from repro.core.streaming import streaming_merge
+
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            try:
+                a = sorted_uniform_ints(4000, seed)
+                b = sorted_uniform_ints(4000, seed + 3)
+                blocks = list(streaming_merge(iter(a), iter(b), L=512))
+                merged = np.concatenate(blocks)
+                np.testing.assert_array_equal(
+                    merged, np.sort(np.concatenate([a, b]), kind="mergesort")
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []

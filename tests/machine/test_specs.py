@@ -1,0 +1,50 @@
+"""Tests for machine specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import InputError
+from repro.machine.specs import MachineSpec, dell_t610, hypercore_like, laptop_generic
+
+
+class TestDellT610:
+    def test_paper_configuration(self):
+        spec = dell_t610()
+        assert spec.sockets == 2
+        assert spec.cores_per_socket == 6
+        assert spec.total_cores == 12
+        assert spec.l1d_bytes == 32 * 1024
+        assert spec.l2_bytes == 256 * 1024
+        assert spec.l3_bytes == 12 * 1024 * 1024
+
+    def test_derived_totals(self):
+        spec = dell_t610()
+        assert spec.l3_total_bytes == 24 * 1024 * 1024
+        assert spec.total_dram_bw_bytes_s == 2 * spec.dram_bw_bytes_s
+
+
+class TestOtherSpecs:
+    def test_hypercore_is_shared_cache(self):
+        spec = hypercore_like()
+        assert spec.sockets == 1
+        assert spec.l1d_bytes == spec.l3_bytes
+
+    def test_laptop(self):
+        assert laptop_generic().total_cores == 4
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(InputError):
+            dataclasses.replace(dell_t610(), cores_per_socket=0)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(InputError):
+            dataclasses.replace(dell_t610(), clock_hz=0)
+        with pytest.raises(InputError):
+            dataclasses.replace(dell_t610(), dram_bw_bytes_s=-1)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            dell_t610().sockets = 4

@@ -1,0 +1,53 @@
+"""Tests for baseline partitions on the lockstep PRAM."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.shiloach_vishkin import sv_partition
+from repro.core.merge_path import partition_merge_path
+from repro.pram.baseline_programs import run_partitioned_merge_pram
+from repro.workloads.adversarial import disjoint_high_low
+
+from ..conftest import reference_merge
+
+
+class TestPartitionedMergePRAM:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_merge_path_partition_correct(self, p):
+        g = np.random.default_rng(p)
+        a = np.sort(g.integers(0, 99, 60))
+        b = np.sort(g.integers(0, 99, 52))
+        part = partition_merge_path(a, b, p, check=False)
+        out, metrics = run_partitioned_merge_pram(a, b, part)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+        assert metrics.p <= p
+
+    def test_sv_partition_correct_but_slow(self):
+        a, b = disjoint_high_low(128)
+        sv = sv_partition(a, b, 4)
+        mp = partition_merge_path(a, b, 4, check=False)
+        sv_out, sv_metrics = run_partitioned_merge_pram(a, b, sv)
+        mp_out, mp_metrics = run_partitioned_merge_pram(a, b, mp)
+        np.testing.assert_array_equal(sv_out, mp_out)  # same merge
+        # ...but the barrier waits much longer under SV's imbalance
+        assert sv_metrics.time > 2 * mp_metrics.time
+        assert sv_metrics.load_imbalance > mp_metrics.load_imbalance
+
+    def test_work_similar_despite_latency_gap(self):
+        # imbalance hurts latency, not total work
+        a, b = disjoint_high_low(128)
+        sv = sv_partition(a, b, 4)
+        mp = partition_merge_path(a, b, 4, check=False)
+        _, sv_metrics = run_partitioned_merge_pram(a, b, sv)
+        _, mp_metrics = run_partitioned_merge_pram(a, b, mp)
+        assert sv_metrics.work == pytest.approx(mp_metrics.work, rel=0.5)
+
+    def test_empty_inputs(self):
+        part = partition_merge_path(
+            np.array([], dtype=int), np.array([], dtype=int), 2
+        )
+        out, metrics = run_partitioned_merge_pram(
+            np.array([], dtype=int), np.array([], dtype=int), part
+        )
+        assert len(out) == 0
+        assert metrics.time == 0

@@ -1,0 +1,177 @@
+"""Tests for the lockstep PRAM executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, InputError, MemoryConflictError
+from repro.pram.machine import PRAMMachine
+from repro.pram.memory import AccessMode, SharedMemory
+from repro.pram.program import Compute, Read, Write
+
+
+def make_machine(mode=AccessMode.CREW, arrays=None, **kw):
+    mem = SharedMemory(mode)
+    for name, data in (arrays or {"A": np.array([1, 2, 3]), "S": 4}).items():
+        mem.alloc(name, data)
+    return PRAMMachine(mem, **kw), mem
+
+
+class TestBasicExecution:
+    def test_single_program_runs_to_completion(self):
+        machine, mem = make_machine()
+
+        def prog():
+            v = yield Read("A", 0)
+            yield Write("S", 0, v + 100)
+
+        metrics = machine.run([prog()])
+        assert mem.array("S")[0] == 101
+        assert metrics.cycles == 2
+        assert metrics.steps_per_processor == [2]
+
+    def test_read_value_delivered(self):
+        machine, _ = make_machine()
+        seen = []
+
+        def prog():
+            v = yield Read("A", 2)
+            seen.append(v)
+            yield Compute()
+
+        machine.run([prog()])
+        assert seen == [3]
+
+    def test_empty_program(self):
+        machine, _ = make_machine()
+
+        def prog():
+            return
+            yield  # pragma: no cover
+
+        metrics = machine.run([prog()])
+        assert metrics.cycles == 0
+
+    def test_no_programs_rejected(self):
+        machine, _ = make_machine()
+        with pytest.raises(InputError):
+            machine.run([])
+
+    def test_invalid_op_rejected(self):
+        machine, _ = make_machine()
+
+        def prog():
+            yield "not-an-op"
+
+        with pytest.raises(InputError):
+            machine.run([prog()])
+
+
+class TestLockstepSemantics:
+    def test_time_is_max_of_program_lengths(self):
+        machine, _ = make_machine()
+
+        def short():
+            yield Compute()
+
+        def long():
+            for _ in range(5):
+                yield Compute()
+
+        metrics = machine.run([short(), long()])
+        assert metrics.cycles == 5
+        assert metrics.steps_per_processor == [1, 5]
+        assert metrics.work == 6
+
+    def test_synchronous_write_visibility(self):
+        # p1 writes S[0] in cycle 1; p2 reads it in cycle 2 and sees it.
+        machine, mem = make_machine()
+
+        def writer():
+            yield Write("S", 0, 42)
+
+        def reader():
+            yield Compute()  # cycle 1: avoid same-cycle read-write conflict
+            v = yield Read("S", 0)
+            yield Write("S", 1, v)
+
+        machine.run([writer(), reader()])
+        assert mem.array("S")[1] == 42
+
+    def test_same_cycle_read_write_conflict_detected(self):
+        machine, _ = make_machine()
+
+        def writer():
+            yield Write("S", 0, 1)
+
+        def reader():
+            yield Read("S", 0)
+
+        with pytest.raises(MemoryConflictError):
+            machine.run([writer(), reader()])
+
+    def test_compute_units_expand(self):
+        machine, _ = make_machine()
+
+        def prog():
+            yield Compute(units=4)
+            yield Compute()
+
+        metrics = machine.run([prog()])
+        assert metrics.cycles == 5
+        assert metrics.computes == 5
+
+    def test_compute_units_validation(self):
+        machine, _ = make_machine()
+
+        def prog():
+            yield Compute(units=0)
+
+        with pytest.raises(InputError):
+            machine.run([prog()])
+
+    def test_deadlock_guard(self):
+        machine, _ = make_machine(max_cycles=10)
+
+        def forever():
+            while True:
+                yield Compute()
+
+        with pytest.raises(DeadlockError):
+            machine.run([forever()])
+
+
+class TestMetrics:
+    def test_read_write_counts(self):
+        machine, _ = make_machine()
+
+        def prog(pid):
+            yield Read("A", pid)
+            yield Write("S", pid, pid)
+            yield Compute()
+
+        metrics = machine.run([prog(0), prog(1)])
+        assert metrics.reads == 2
+        assert metrics.writes == 2
+        assert metrics.computes == 2
+        assert metrics.p == 2
+        assert metrics.load_imbalance == 0
+
+    def test_speedup_and_efficiency(self):
+        machine, _ = make_machine()
+
+        def prog(pid):
+            for _ in range(4):
+                yield Compute()
+
+        metrics = machine.run([prog(0), prog(1)])
+        assert metrics.speedup_vs_work == pytest.approx(2.0)
+        assert metrics.efficiency == pytest.approx(1.0)
+
+    def test_concurrent_read_metric(self):
+        machine, mem = make_machine()
+
+        def prog():
+            yield Read("A", 0)
+
+        metrics = machine.run([prog(), prog()])
+        assert metrics.concurrent_read_events == 1

@@ -1,0 +1,130 @@
+"""Tests for PRAM shared memory and access-mode enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError, MemoryConflictError
+from repro.pram.memory import AccessMode, SharedMemory
+
+
+def mem(mode=AccessMode.CREW):
+    m = SharedMemory(mode)
+    m.alloc("X", np.array([10, 20, 30]))
+    m.alloc("Y", 4)
+    return m
+
+
+class TestAllocation:
+    def test_alloc_copies_data(self):
+        data = np.array([1, 2])
+        m = SharedMemory()
+        m.alloc("A", data)
+        data[0] = 99
+        assert m.array("A")[0] == 1
+
+    def test_alloc_by_size_zeroed(self):
+        m = mem()
+        np.testing.assert_array_equal(m.array("Y"), np.zeros(4))
+
+    def test_double_alloc_rejected(self):
+        m = mem()
+        with pytest.raises(InputError):
+            m.alloc("X", 3)
+
+    def test_unknown_array(self):
+        with pytest.raises(InputError):
+            mem().array("Z")
+
+    def test_names(self):
+        assert mem().names() == ("X", "Y")
+
+
+class TestCycleSemantics:
+    def test_read_returns_value(self):
+        m = mem()
+        results = m.execute_cycle({0: ("X", 1)}, {})
+        assert results[0] == 20
+
+    def test_write_commits(self):
+        m = mem()
+        m.execute_cycle({}, {0: ("Y", 2, 7)})
+        assert m.array("Y")[2] == 7
+
+    def test_reads_see_pre_cycle_state(self):
+        # processor 0 reads X[0] while processor 1 writes it: forbidden
+        # under all modes; use different addresses to verify the
+        # snapshot rule instead.
+        m = mem()
+        m.execute_cycle({}, {0: ("X", 0, 5)})
+        results = m.execute_cycle({0: ("X", 0)}, {1: ("X", 1, 9)})
+        assert results[0] == 5
+
+    def test_bounds_checked(self):
+        m = mem()
+        with pytest.raises(InputError):
+            m.execute_cycle({0: ("X", 3)}, {})
+        with pytest.raises(InputError):
+            m.execute_cycle({}, {0: ("Y", -1, 0)})
+
+    def test_counters(self):
+        m = mem()
+        m.execute_cycle({0: ("X", 0), 1: ("X", 0)}, {2: ("Y", 0, 1)})
+        assert m.total_reads == 2
+        assert m.total_writes == 1
+        assert m.concurrent_read_events == 1
+
+
+class TestCREW:
+    def test_concurrent_reads_allowed(self):
+        m = mem(AccessMode.CREW)
+        results = m.execute_cycle({0: ("X", 0), 1: ("X", 0)}, {})
+        assert results[0] == results[1] == 10
+
+    def test_concurrent_writes_rejected(self):
+        m = mem(AccessMode.CREW)
+        with pytest.raises(MemoryConflictError) as exc:
+            m.execute_cycle({}, {0: ("Y", 0, 1), 1: ("Y", 0, 2)})
+        assert set(exc.value.processors) == {0, 1}
+
+    def test_read_write_same_address_rejected(self):
+        m = mem(AccessMode.CREW)
+        with pytest.raises(MemoryConflictError):
+            m.execute_cycle({0: ("X", 0)}, {1: ("X", 0, 5)})
+
+    def test_disjoint_writes_fine(self):
+        m = mem(AccessMode.CREW)
+        m.execute_cycle({}, {0: ("Y", 0, 1), 1: ("Y", 1, 2)})
+        np.testing.assert_array_equal(m.array("Y"), [1, 2, 0, 0])
+
+
+class TestEREW:
+    def test_concurrent_reads_rejected(self):
+        m = mem(AccessMode.EREW)
+        with pytest.raises(MemoryConflictError):
+            m.execute_cycle({0: ("X", 0), 1: ("X", 0)}, {})
+
+    def test_exclusive_accesses_fine(self):
+        m = mem(AccessMode.EREW)
+        m.execute_cycle({0: ("X", 0), 1: ("X", 1)}, {2: ("Y", 0, 3)})
+
+    def test_read_write_conflict_rejected(self):
+        m = mem(AccessMode.EREW)
+        with pytest.raises(MemoryConflictError):
+            m.execute_cycle({0: ("X", 2)}, {1: ("X", 2, 1)})
+
+
+class TestCRCWCommon:
+    def test_same_value_writes_allowed(self):
+        m = mem(AccessMode.CRCW_COMMON)
+        m.execute_cycle({}, {0: ("Y", 0, 5), 1: ("Y", 0, 5)})
+        assert m.array("Y")[0] == 5
+
+    def test_diverging_writes_rejected(self):
+        m = mem(AccessMode.CRCW_COMMON)
+        with pytest.raises(MemoryConflictError):
+            m.execute_cycle({}, {0: ("Y", 0, 5), 1: ("Y", 0, 6)})
+
+    def test_read_write_still_rejected(self):
+        m = mem(AccessMode.CRCW_COMMON)
+        with pytest.raises(MemoryConflictError):
+            m.execute_cycle({0: ("Y", 0)}, {1: ("Y", 0, 5)})

@@ -1,0 +1,133 @@
+"""Tests for merge algorithms as PRAM programs and the counted mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryConflictError
+from repro.pram.memory import AccessMode
+from repro.pram.merge_programs import (
+    counted_parallel_merge,
+    run_parallel_merge_pram,
+    run_sequential_merge_pram,
+)
+from repro.workloads.adversarial import ADVERSARIAL_PAIRS
+
+from ..conftest import reference_merge
+
+
+class TestPRAMMergeCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_random(self, p):
+        g = np.random.default_rng(p)
+        a = np.sort(g.integers(0, 99, 40))
+        b = np.sort(g.integers(0, 99, 33))
+        merged, metrics = run_parallel_merge_pram(a, b, p)
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+        assert metrics.p == p
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_PAIRS))
+    def test_adversarial(self, name):
+        a, b = ADVERSARIAL_PAIRS[name](24)
+        merged, _ = run_parallel_merge_pram(a, b, 4)
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+
+    def test_sequential_baseline(self):
+        a = np.array([1, 4, 6])
+        b = np.array([2, 3, 7])
+        merged, metrics = run_sequential_merge_pram(a, b)
+        np.testing.assert_array_equal(merged, [1, 2, 3, 4, 6, 7])
+        assert metrics.p == 1
+
+    def test_dtype_preserved(self):
+        a = np.array([1, 2], dtype=np.int32)
+        b = np.array([3], dtype=np.int32)
+        merged, _ = run_parallel_merge_pram(a, b, 2)
+        assert merged.dtype == np.int32
+
+
+class TestSynchronizationFreedom:
+    """The paper's Remark: Algorithm 1 needs no inter-core communication
+    and runs clean under CREW."""
+
+    def test_crew_clean_on_random(self):
+        g = np.random.default_rng(6)
+        a = np.sort(g.integers(0, 50, 64))
+        b = np.sort(g.integers(0, 50, 64))
+        # would raise MemoryConflictError if any CREW violation occurred
+        run_parallel_merge_pram(a, b, 8, mode=AccessMode.CREW)
+
+    def test_crew_clean_on_all_equal(self):
+        a, b = ADVERSARIAL_PAIRS["all_equal"](32)
+        run_parallel_merge_pram(a, b, 8, mode=AccessMode.CREW)
+
+    def test_erew_violated_by_partition_searches(self):
+        # concurrent reads during the diagonal searches are expected;
+        # EREW mode must therefore reject some schedule.
+        a, b = ADVERSARIAL_PAIRS["all_equal"](64)
+        with pytest.raises(MemoryConflictError):
+            run_parallel_merge_pram(a, b, 8, mode=AccessMode.EREW)
+
+    def test_concurrent_reads_are_rare(self):
+        # the Remark: "concurrent reads from the same address are rare".
+        # They happen only during partition searches (each interior
+        # diagonal is probed by two neighbouring processors in lockstep),
+        # so they are O(p log N) against O(N) merge reads.
+        g = np.random.default_rng(7)
+        a = np.sort(g.integers(0, 10_000, 128))
+        b = np.sort(g.integers(0, 10_000, 128))
+        _, metrics = run_parallel_merge_pram(a, b, 4)
+        assert metrics.concurrent_read_events < metrics.reads / 8
+        # and the absolute count is bounded by the search traffic
+        assert metrics.concurrent_read_events <= 4 * 2 * 9
+
+
+class TestCountedMode:
+    """counted_parallel_merge must agree exactly with the lockstep run."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_counted_equals_lockstep_random(self, p):
+        g = np.random.default_rng(p + 50)
+        a = np.sort(g.integers(0, 60, 37))
+        b = np.sort(g.integers(0, 60, 52))
+        _, metrics = run_parallel_merge_pram(a, b, p)
+        counted = counted_parallel_merge(a, b, p)
+        assert counted.per_processor == tuple(metrics.steps_per_processor)
+        assert counted.time == metrics.cycles
+        assert counted.work == metrics.work
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_PAIRS))
+    def test_counted_equals_lockstep_adversarial(self, name):
+        a, b = ADVERSARIAL_PAIRS[name](20)
+        _, metrics = run_parallel_merge_pram(a, b, 3)
+        counted = counted_parallel_merge(a, b, 3)
+        assert counted.per_processor == tuple(metrics.steps_per_processor)
+
+    def test_p1_equals_sequential(self):
+        g = np.random.default_rng(13)
+        a = np.sort(g.integers(0, 99, 30))
+        b = np.sort(g.integers(0, 99, 30))
+        _, seq = run_sequential_merge_pram(a, b)
+        counted = counted_parallel_merge(a, b, 1)
+        assert counted.time == seq.cycles
+
+    def test_time_decreases_with_p(self):
+        g = np.random.default_rng(14)
+        a = np.sort(g.integers(0, 1000, 400))
+        b = np.sort(g.integers(0, 1000, 400))
+        times = [counted_parallel_merge(a, b, p).time for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+        assert times[0] > 3 * times[3]  # near-linear at small log overhead
+
+    def test_work_stays_linear(self):
+        g = np.random.default_rng(15)
+        a = np.sort(g.integers(0, 1000, 300))
+        b = np.sort(g.integers(0, 1000, 300))
+        w1 = counted_parallel_merge(a, b, 1).work
+        w8 = counted_parallel_merge(a, b, 8).work
+        # work grows additively: <= 2 searches/processor of <= 9 probes
+        # (ceil log2 301) at 3 cycles each, plus the p=1 tail-copy
+        # discount (tail steps cost 2 cycles instead of 4).
+        search_budget = 8 * 2 * 9 * 3
+        tail_budget = 2 * 600
+        assert w8 - w1 <= search_budget + tail_budget
+        assert w8 >= w1  # parallelization never reduces total work

@@ -1,0 +1,45 @@
+"""Direct unit tests for PRAM run metrics arithmetic."""
+
+import pytest
+
+from repro.pram.metrics import RunMetrics
+
+
+class TestRunMetrics:
+    def test_time_is_cycles(self):
+        m = RunMetrics(steps_per_processor=[3, 5], cycles=5)
+        assert m.time == 5
+
+    def test_work_is_total_steps(self):
+        m = RunMetrics(steps_per_processor=[3, 5, 2], cycles=5)
+        assert m.work == 10
+
+    def test_speedup_vs_work(self):
+        m = RunMetrics(steps_per_processor=[4, 4], cycles=4)
+        assert m.speedup_vs_work == pytest.approx(2.0)
+
+    def test_speedup_degrades_with_imbalance(self):
+        balanced = RunMetrics(steps_per_processor=[4, 4], cycles=4)
+        skewed = RunMetrics(steps_per_processor=[8, 1], cycles=8)
+        assert skewed.speedup_vs_work < balanced.speedup_vs_work
+
+    def test_efficiency(self):
+        m = RunMetrics(steps_per_processor=[4, 2], cycles=4)
+        assert m.efficiency == pytest.approx((6 / 4) / 2)
+
+    def test_load_imbalance(self):
+        m = RunMetrics(steps_per_processor=[7, 2, 5], cycles=7)
+        assert m.load_imbalance == 5
+
+    def test_empty_run_defaults(self):
+        m = RunMetrics()
+        assert m.p == 0
+        assert m.time == 0
+        assert m.work == 0
+        assert m.speedup_vs_work == 1.0
+        assert m.efficiency == 1.0
+        assert m.load_imbalance == 0
+
+    def test_zero_cycle_run(self):
+        m = RunMetrics(steps_per_processor=[0, 0], cycles=0)
+        assert m.speedup_vs_work == 1.0

@@ -1,0 +1,61 @@
+"""Tests for Algorithm 2 on the lockstep PRAM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryConflictError
+from repro.pram.memory import AccessMode
+from repro.pram.merge_programs import run_parallel_merge_pram
+from repro.pram.segmented_programs import run_segmented_merge_pram
+from repro.workloads.adversarial import ADVERSARIAL_PAIRS
+
+from ..conftest import reference_merge
+
+
+class TestSegmentedPRAMCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("L", [1, 4, 16, 1000])
+    def test_random(self, p, L):
+        g = np.random.default_rng(p * 100 + L)
+        a = np.sort(g.integers(0, 60, 40))
+        b = np.sort(g.integers(0, 60, 37))
+        out, _ = run_segmented_merge_pram(a, b, p, L)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_PAIRS))
+    def test_adversarial(self, name):
+        a, b = ADVERSARIAL_PAIRS[name](24)
+        out, _ = run_segmented_merge_pram(a, b, 3, L=7)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+
+    def test_crew_clean(self):
+        a, b = ADVERSARIAL_PAIRS["all_equal"](32)
+        run_segmented_merge_pram(a, b, 4, L=8, mode=AccessMode.CREW)
+
+
+class TestSegmentedPRAMCost:
+    def test_spm_overhead_is_modest(self):
+        """The paper's caveat: SPM's extra partitioning costs a bit of
+        time; it should be a small factor, not a blowup."""
+        g = np.random.default_rng(5)
+        a = np.sort(g.integers(0, 999, 128))
+        b = np.sort(g.integers(0, 999, 128))
+        _, spm = run_segmented_merge_pram(a, b, 4, L=32)
+        _, basic = run_parallel_merge_pram(a, b, 4)
+        assert basic.time <= spm.time <= 2 * basic.time
+
+    def test_search_charge_optional(self):
+        g = np.random.default_rng(6)
+        a = np.sort(g.integers(0, 99, 64))
+        b = np.sort(g.integers(0, 99, 64))
+        _, with_search = run_segmented_merge_pram(a, b, 4, L=16)
+        _, without = run_segmented_merge_pram(
+            a, b, 4, L=16, charge_searches=False
+        )
+        assert without.time < with_search.time
+
+    def test_phase_count_tracks_blocks(self):
+        a = np.arange(0, 32, 2)
+        b = np.arange(1, 33, 2)
+        _, m = run_segmented_merge_pram(a, b, 2, L=8, charge_searches=False)
+        assert m.phases == 4  # 32 outputs / 8 per block

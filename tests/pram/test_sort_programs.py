@@ -1,0 +1,78 @@
+"""Tests for the phase-synchronized PRAM merge sort."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError, MemoryConflictError
+from repro.pram.memory import AccessMode
+from repro.pram.sort_programs import run_parallel_merge_sort_pram
+
+
+class TestPRAMSortCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 33, 64, 100])
+    def test_sorts(self, p, n):
+        g = np.random.default_rng(n * 7 + p)
+        x = g.integers(0, 50, n)
+        out, _ = run_parallel_merge_sort_pram(x, p)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_duplicates(self):
+        x = np.array([3, 3, 1, 3, 1, 1, 3])
+        out, _ = run_parallel_merge_sort_pram(x, 3)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_already_sorted_and_reversed(self):
+        x = np.arange(32)
+        np.testing.assert_array_equal(
+            run_parallel_merge_sort_pram(x, 4)[0], x
+        )
+        np.testing.assert_array_equal(
+            run_parallel_merge_sort_pram(x[::-1].copy(), 4)[0], x
+        )
+
+    def test_input_not_mutated(self):
+        x = np.array([5, 1, 4])
+        x0 = x.copy()
+        run_parallel_merge_sort_pram(x, 2)
+        np.testing.assert_array_equal(x, x0)
+
+    def test_bad_p(self):
+        with pytest.raises(InputError):
+            run_parallel_merge_sort_pram(np.array([1]), 0)
+
+
+class TestPRAMSortSynchronization:
+    def test_crew_clean_whole_pipeline(self):
+        # every access of every phase is audited; no exception == the
+        # entire sort is synchronization-free under CREW
+        g = np.random.default_rng(3)
+        x = g.integers(0, 1000, 96)
+        run_parallel_merge_sort_pram(x, 8, mode=AccessMode.CREW)
+
+    def test_erew_violated_by_merge_round_searches(self):
+        # neighbouring processors probe shared diagonals concurrently
+        x = np.zeros(64, dtype=np.int64)  # all-ties maximizes collisions
+        with pytest.raises(MemoryConflictError):
+            run_parallel_merge_sort_pram(x, 8, mode=AccessMode.EREW)
+
+
+class TestPRAMSortMetrics:
+    def test_phase_structure(self):
+        x = np.random.default_rng(5).integers(0, 99, 64)
+        _, m = run_parallel_merge_sort_pram(x, 4)
+        # 1 local-sort phase + 2 rounds x (merge + copy) = 5 phases
+        assert m.phases == 5
+        assert m.time == sum(m.phase_cycles)
+        assert m.total_work >= m.time
+
+    def test_time_improves_with_p(self):
+        x = np.random.default_rng(6).integers(0, 9999, 256)
+        t1 = run_parallel_merge_sort_pram(x, 1)[1].time
+        t8 = run_parallel_merge_sort_pram(x, 8)[1].time
+        assert t8 < t1 / 2.5  # parallel rounds must pay off
+
+    def test_p1_has_single_phase(self):
+        x = np.random.default_rng(7).integers(0, 99, 32)
+        _, m = run_parallel_merge_sort_pram(x, 1)
+        assert m.phases == 1  # one chunk, no merge rounds

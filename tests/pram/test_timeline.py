@@ -1,0 +1,103 @@
+"""Tests for the PRAM timeline recorder/renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.pram.baseline_programs import segment_merge_program
+from repro.pram.memory import AccessMode, SharedMemory
+from repro.pram.merge_programs import merge_path_program
+from repro.pram.timeline import (
+    TimelineRecorder,
+    TracingPRAMMachine,
+    render_timeline,
+)
+from repro.baselines.shiloach_vishkin import sv_partition
+from repro.workloads.adversarial import disjoint_high_low
+
+
+def traced_merge_path_run(a, b, p):
+    mem = SharedMemory(AccessMode.CREW)
+    mem.alloc("A", a)
+    mem.alloc("B", b)
+    mem.alloc("S", np.zeros(len(a) + len(b), dtype=np.int64))
+    rec = TimelineRecorder()
+    machine = TracingPRAMMachine(mem, rec)
+    metrics = machine.run(
+        [merge_path_program(pid, p, len(a), len(b)) for pid in range(p)]
+    )
+    return rec, metrics, mem
+
+
+class TestRecorder:
+    def test_lanes_match_cycles(self):
+        a = np.arange(0, 16, 2)
+        b = np.arange(1, 17, 2)
+        rec, metrics, _ = traced_merge_path_run(a, b, 3)
+        assert len(rec.lanes) == 3
+        assert all(len(lane) == metrics.cycles for lane in rec.lanes)
+
+    def test_active_marks_equal_step_counts(self):
+        a = np.arange(0, 16, 2)
+        b = np.arange(1, 17, 2)
+        rec, metrics, _ = traced_merge_path_run(a, b, 3)
+        for pid, lane in enumerate(rec.lanes):
+            active = sum(1 for m in lane if m != ".")
+            assert active == metrics.steps_per_processor[pid]
+
+    def test_mark_kinds_consistent_with_metrics(self):
+        a = np.arange(0, 16, 2)
+        b = np.arange(1, 17, 2)
+        rec, metrics, _ = traced_merge_path_run(a, b, 2)
+        reads = sum(lane.count("r") for lane in rec.lanes)
+        writes = sum(lane.count("w") for lane in rec.lanes)
+        computes = sum(lane.count("c") for lane in rec.lanes)
+        assert reads == metrics.reads
+        assert writes == metrics.writes
+        assert computes == metrics.computes
+
+    def test_tracing_does_not_change_results(self):
+        a = np.arange(0, 20, 2)
+        b = np.arange(1, 21, 2)
+        _, _, mem = traced_merge_path_run(a, b, 4)
+        np.testing.assert_array_equal(mem.array("S"), np.arange(20))
+
+
+class TestImbalanceVisibility:
+    def test_sv_shows_idle_tails(self):
+        a, b = disjoint_high_low(16)
+        part = sv_partition(a, b, 4)
+        mem = SharedMemory(AccessMode.CREW)
+        mem.alloc("A", a)
+        mem.alloc("B", b)
+        mem.alloc("S", np.zeros(32, dtype=np.int64))
+        rec = TimelineRecorder()
+        machine = TracingPRAMMachine(mem, rec)
+        machine.run([segment_merge_program(s) for s in part.segments if s.length])
+        idle_frac = [lane.count(".") / len(lane) for lane in rec.lanes]
+        assert idle_frac[0] == 0.0       # the overloaded processor
+        assert min(idle_frac[1:]) > 0.5  # everyone else mostly waits
+
+
+class TestRenderer:
+    def test_compact_render(self):
+        rec = TimelineRecorder()
+        rec.lanes = [list("rwc."), list("rrrr")]
+        text = render_timeline(rec)
+        assert "P0   |rwc.|" in text
+        assert "cycles: 4" in text
+
+    def test_bucket_compression(self):
+        rec = TimelineRecorder()
+        rec.lanes = [list("r" * 200 + "." * 200)]
+        text = render_timeline(rec, max_width=50)
+        strip = text.splitlines()[0].split("|")[1]
+        assert len(strip) <= 101
+        assert "r" in strip and "." in strip
+
+    def test_empty(self):
+        assert render_timeline(TimelineRecorder()) == "(no timeline)"
+
+    def test_bad_width(self):
+        with pytest.raises(InputError):
+            render_timeline(TimelineRecorder(), max_width=0)

@@ -1,0 +1,114 @@
+"""Property-based tests for the adaptive/in-place/set-op extensions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inplace import merge_inplace, merge_inplace_parallel
+from repro.core.natural_sort import find_natural_runs, natural_merge_sort
+from repro.core.setops import (
+    set_difference,
+    set_intersection,
+    set_symmetric_difference,
+    set_union,
+)
+
+ints = st.lists(st.integers(-40, 40), min_size=0, max_size=100)
+sorted_arrays = ints.map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+arrays = ints.map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestInplaceProperties:
+    @settings(max_examples=60)
+    @given(a=sorted_arrays, b=sorted_arrays)
+    def test_symmerge_equals_sort(self, a, b):
+        arr = np.concatenate([a, b])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace(arr, len(a))
+        np.testing.assert_array_equal(arr, ref)
+
+    @settings(max_examples=40)
+    @given(a=sorted_arrays, b=sorted_arrays, p=st.integers(1, 6))
+    def test_parallel_inplace_equals_sort(self, a, b, p):
+        arr = np.concatenate([a, b])
+        ref = np.sort(arr, kind="mergesort")
+        merge_inplace_parallel(arr, len(a), p)
+        np.testing.assert_array_equal(arr, ref)
+
+
+class TestNaturalSortProperties:
+    @settings(max_examples=60)
+    @given(x=arrays, p=st.integers(1, 6))
+    def test_sorts(self, x, p):
+        np.testing.assert_array_equal(natural_merge_sort(x, p), np.sort(x))
+
+    @settings(max_examples=60)
+    @given(x=arrays)
+    def test_run_bounds_are_sorted_runs(self, x):
+        work = x.copy()
+        bounds = find_natural_runs(work)
+        assert bounds[0] == 0 and bounds[-1] == len(x)
+        assert bounds == sorted(bounds)
+        for lo, hi in zip(bounds, bounds[1:]):
+            seg = work[lo:hi]
+            if len(seg) > 1:
+                assert np.all(seg[:-1] <= seg[1:])
+        # in-place reversals preserve the multiset
+        np.testing.assert_array_equal(np.sort(work), np.sort(x))
+
+    @settings(max_examples=40)
+    @given(x=arrays)
+    def test_runs_maximal_without_reversal(self, x):
+        """With reversal off, every boundary is a genuine descent."""
+        work = x.copy()
+        bounds = find_natural_runs(work, reverse_descending=False)
+        for b in bounds[1:-1]:
+            assert work[b - 1] > work[b]
+
+    @settings(max_examples=40)
+    @given(x=arrays)
+    def test_run_count_bounded_by_descents(self, x):
+        """Adaptivity bound: at most one run per strict descent + 1.
+
+        (With reversal, boundaries after a reversed run may be
+        mergeable — TimSort behaves the same — so per-boundary
+        maximality only holds without reversal; the *count* bound holds
+        always.)"""
+        descents = int(np.sum(x[:-1] > x[1:])) if len(x) > 1 else 0
+        bounds = find_natural_runs(x.copy())
+        runs = len(bounds) - 1
+        assert runs <= descents + 1 or len(x) == 0
+
+
+class TestSetOpsProperties:
+    @settings(max_examples=60)
+    @given(a=sorted_arrays, b=sorted_arrays)
+    def test_inclusion_exclusion(self, a, b):
+        u = set_union(a, b)
+        i = set_intersection(a, b)
+        assert len(u) + len(i) == len(a) + len(b)
+
+    @settings(max_examples=60)
+    @given(a=sorted_arrays, b=sorted_arrays)
+    def test_difference_partition(self, a, b):
+        """A = (A \\ B) ⊎ (A ∩ B) as multisets."""
+        d = set_difference(a, b)
+        i = set_intersection(a, b)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate([d, i])), a
+        )
+
+    @settings(max_examples=60)
+    @given(a=sorted_arrays, b=sorted_arrays)
+    def test_symmetric_difference_commutes(self, a, b):
+        np.testing.assert_array_equal(
+            set_symmetric_difference(a, b), set_symmetric_difference(b, a)
+        )
+
+    @settings(max_examples=40)
+    @given(a=sorted_arrays)
+    def test_self_identities(self, a):
+        np.testing.assert_array_equal(set_union(a, a), a)
+        np.testing.assert_array_equal(set_intersection(a, a), a)
+        assert len(set_difference(a, a)) == 0
+        assert len(set_symmetric_difference(a, a)) == 0

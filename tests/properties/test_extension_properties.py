@@ -1,0 +1,107 @@
+"""Property-based tests for the extension features (keyed, streaming,
+GPU blocked merge, external sort)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keyed import argmerge, merge_by_key
+from repro.core.streaming import streaming_merge
+from repro.external.sort import external_sort
+from repro.gpu import GPUSpec, blocked_merge
+
+from ..conftest import reference_merge
+
+sorted_ints = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=0, max_size=80
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+unsorted_ints = st.lists(
+    st.integers(min_value=-500, max_value=500), min_size=0, max_size=120
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestArgmergeProperties:
+    @given(a=sorted_ints, b=sorted_ints)
+    def test_permutation_and_reconstruction(self, a, b):
+        idx = argmerge(a, b)
+        assert sorted(idx.tolist()) == list(range(len(a) + len(b)))
+        np.testing.assert_array_equal(
+            np.concatenate([a, b])[idx], reference_merge(a, b)
+        )
+
+    @given(a=sorted_ints, b=sorted_ints)
+    def test_a_indices_in_order(self, a, b):
+        """Stability: A's indices appear in increasing order, and so do
+        B's — the permutation never reorders within a source."""
+        idx = argmerge(a, b)
+        a_positions = [i for i in idx if i < len(a)]
+        b_positions = [i for i in idx if i >= len(a)]
+        assert a_positions == sorted(a_positions)
+        assert b_positions == sorted(b_positions)
+
+
+class TestMergeByKeyProperties:
+    @settings(max_examples=50)
+    @given(a=sorted_ints, b=sorted_ints, p=st.integers(1, 6))
+    def test_pairs_preserved(self, a, b, p):
+        av = np.arange(len(a)) * 2       # even payloads mark A
+        bv = np.arange(len(b)) * 2 + 1   # odd payloads mark B
+        keys, values = merge_by_key(a, b, av, bv, p=p, backend="serial")
+        np.testing.assert_array_equal(keys, reference_merge(a, b))
+        got = sorted(zip(keys.tolist(), values.tolist()))
+        want = sorted(
+            list(zip(a.tolist(), av.tolist())) + list(zip(b.tolist(),
+                                                          bv.tolist()))
+        )
+        assert got == want
+
+
+class TestStreamingProperties:
+    @settings(max_examples=50)
+    @given(a=sorted_ints, b=sorted_ints, L=st.integers(1, 64))
+    def test_blocks_concatenate_to_merge(self, a, b, L):
+        blocks = list(streaming_merge(iter(a), iter(b), L=L))
+        merged = np.concatenate(blocks) if blocks else np.array([])
+        np.testing.assert_array_equal(merged, reference_merge(a, b))
+        assert all(len(blk) <= L for blk in blocks)
+
+    @settings(max_examples=30)
+    @given(a=sorted_ints, b=sorted_ints, L=st.integers(1, 32))
+    def test_memory_bound_respected(self, a, b, L):
+        """No block ever exceeds L, and blocks (except the last) are
+        exactly L — the bounded-buffer contract."""
+        blocks = list(streaming_merge(iter(a), iter(b), L=L))
+        if len(blocks) > 1:
+            assert all(len(blk) == L for blk in blocks[:-1])
+
+
+class TestBlockedMergeProperties:
+    @settings(max_examples=50)
+    @given(
+        a=sorted_ints,
+        b=sorted_ints,
+        tpb=st.sampled_from([2, 4, 8]),
+        vt=st.sampled_from([1, 3, 5]),
+    )
+    def test_equals_reference(self, a, b, tpb, vt):
+        spec = GPUSpec(threads_per_block=tpb, items_per_thread=vt,
+                       shared_limit_elements=4096)
+        out, stats = blocked_merge(a, b, spec)
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+        assert all(s <= vt for s in stats.thread_steps)
+
+    @settings(max_examples=30)
+    @given(a=sorted_ints, b=sorted_ints)
+    def test_tunings_agree(self, a, b):
+        out1, _ = blocked_merge(a, b, GPUSpec(2, 3, 1024))
+        out2, _ = blocked_merge(a, b, GPUSpec(8, 7, 1024))
+        np.testing.assert_array_equal(out1, out2)
+
+
+class TestExternalSortProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(x=unsorted_ints, mem=st.integers(4, 64))
+    def test_sorts_any_budget(self, x, mem):
+        out = external_sort(x, mem)
+        np.testing.assert_array_equal(out, np.sort(x))

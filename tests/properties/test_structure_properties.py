@@ -1,0 +1,135 @@
+"""Property-based tests for sorts, selection, k-way merge and the cache."""
+
+import heapq
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitonic import bitonic_sort
+from repro.baselines.heap_kway import heap_kway_merge
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.cache_sort import cache_efficient_sort
+from repro.core.kway import kway_merge
+from repro.core.merge_sort import parallel_merge_sort
+from repro.core.selection import kth_of_union, kth_of_union_many
+
+unsorted_ints = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=150
+).map(np.array)
+
+sorted_ints = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=0, max_size=60
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+array_lists = st.lists(sorted_ints, min_size=0, max_size=5)
+
+
+class TestSortProperties:
+    @settings(max_examples=40)
+    @given(x=unsorted_ints, p=st.integers(1, 8))
+    def test_parallel_merge_sort(self, x, p):
+        if len(x) == 0:
+            x = np.array([], dtype=np.int64)
+        np.testing.assert_array_equal(
+            parallel_merge_sort(x, p, backend="serial"), np.sort(x)
+        )
+
+    @settings(max_examples=25)
+    @given(x=unsorted_ints, p=st.integers(1, 4), c=st.integers(2, 64))
+    def test_cache_efficient_sort(self, x, p, c):
+        if len(x) == 0:
+            x = np.array([], dtype=np.int64)
+        np.testing.assert_array_equal(
+            cache_efficient_sort(x, p, c, backend="serial"), np.sort(x)
+        )
+
+    @settings(max_examples=30)
+    @given(x=unsorted_ints)
+    def test_bitonic_sort(self, x):
+        if len(x) == 0:
+            x = np.array([], dtype=np.int64)
+        np.testing.assert_array_equal(bitonic_sort(x), np.sort(x))
+
+
+class TestSelectionProperties:
+    @given(a=sorted_ints, b=sorted_ints, k_frac=st.floats(0, 1))
+    def test_kth_of_union(self, a, b, k_frac):
+        total = len(a) + len(b)
+        if total == 0:
+            return
+        k = max(1, min(total, int(round(k_frac * total)) or 1))
+        value, pt = kth_of_union(a, b, k)
+        merged = np.sort(np.concatenate([a, b]), kind="mergesort")
+        assert value == merged[k - 1]
+        assert pt.i + pt.j == k
+
+    @given(arrays=array_lists, k_frac=st.floats(0, 1))
+    def test_kth_of_union_many(self, arrays, k_frac):
+        total = sum(len(x) for x in arrays)
+        if total == 0:
+            return
+        k = max(1, min(total, int(round(k_frac * total)) or 1))
+        value, splits = kth_of_union_many(arrays, k)
+        pooled = np.sort(np.concatenate([x for x in arrays if len(x)]))
+        assert value == pooled[k - 1]
+        assert sum(splits) == k
+        taken = np.sort(
+            np.concatenate(
+                [x[:s] for x, s in zip(arrays, splits)]
+                or [np.array([], dtype=np.int64)]
+            )
+        )
+        np.testing.assert_array_equal(taken, pooled[:k])
+
+
+class TestKwayProperties:
+    @settings(max_examples=40)
+    @given(arrays=array_lists, p=st.integers(1, 6))
+    def test_kway_matches_heapq(self, arrays, p):
+        out = kway_merge(arrays, p, backend="serial")
+        ref = list(heapq.merge(*[list(x) for x in arrays]))
+        np.testing.assert_array_equal(out, np.array(ref, dtype=out.dtype)
+                                      if ref else out)
+
+    @settings(max_examples=40)
+    @given(arrays=array_lists)
+    def test_heap_kway_matches_heapq(self, arrays):
+        out = heap_kway_merge(arrays)
+        ref = list(heapq.merge(*[list(x) for x in arrays]))
+        assert len(out) == len(ref)
+        if ref:
+            np.testing.assert_array_equal(out, ref)
+
+
+class TestCacheProperties:
+    @given(
+        addrs=st.lists(st.integers(0, 10_000), min_size=0, max_size=300),
+        assoc=st.sampled_from([1, 2, 3, 4, 8]),
+    )
+    def test_counters_consistent(self, addrs, assoc):
+        c = SetAssociativeCache(1024, 64, assoc)
+        for a in addrs:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == len(addrs)
+        assert c.resident_lines <= c.num_sets * c.assoc
+        assert c.stats.evictions <= c.stats.misses
+
+    @given(addrs=st.lists(st.integers(0, 4_000), min_size=1, max_size=200))
+    def test_fully_associative_misses_bounded_by_distinct_lines(self, addrs):
+        c = SetAssociativeCache(1 << 20, 64, (1 << 20) // 64)  # huge, fully assoc
+        for a in addrs:
+            c.access(a)
+        distinct = len({a // 64 for a in addrs})
+        assert c.stats.misses == distinct  # compulsory only
+
+    @given(addrs=st.lists(st.integers(0, 100_000), min_size=1, max_size=200))
+    def test_lru_dominates_smaller_cache(self, addrs):
+        small = SetAssociativeCache(512, 64, 8)
+        big = SetAssociativeCache(4096, 64, 64)
+        for a in addrs:
+            small.access(a)
+            big.access(a)
+        # LRU inclusion property: a bigger fully-associative LRU cache
+        # never misses more than a smaller one.
+        assert big.stats.misses <= small.stats.misses

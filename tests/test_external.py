@@ -1,0 +1,180 @@
+"""Tests for the external-memory sort substrate."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.external import (
+    IOCounter,
+    aggarwal_vitter_bound,
+    external_sort,
+    form_runs,
+    merge_run_files,
+)
+
+
+class TestIOCounter:
+    def test_block_rounding_up(self):
+        io = IOCounter(block_elements=100)
+        io.charge_read(250)
+        assert io.read_blocks == 3
+
+    def test_zero_elements_free(self):
+        io = IOCounter(block_elements=100)
+        io.charge_read(0)
+        io.charge_write(0)
+        assert io.total_blocks == 0
+
+    def test_negative_rejected(self):
+        io = IOCounter(block_elements=4)
+        with pytest.raises(InputError):
+            io.charge_read(-1)
+
+    def test_bad_block_size(self):
+        with pytest.raises(InputError):
+            IOCounter(block_elements=0)
+
+
+class TestAggarwalVitterBound:
+    def test_in_memory_is_free(self):
+        assert aggarwal_vitter_bound(100, 1000, 10) == 0.0
+
+    def test_grows_with_n(self):
+        b1 = aggarwal_vitter_bound(10_000, 1000, 10)
+        b2 = aggarwal_vitter_bound(100_000, 1000, 10)
+        assert b2 > b1 > 0
+
+    def test_more_memory_fewer_transfers(self):
+        tight = aggarwal_vitter_bound(100_000, 1000, 10)
+        roomy = aggarwal_vitter_bound(100_000, 10_000, 10)
+        assert roomy < tight
+
+    def test_memory_must_exceed_block(self):
+        with pytest.raises(InputError):
+            aggarwal_vitter_bound(100, 10, 10)
+
+
+class TestFormRuns:
+    def test_run_count_and_sortedness(self, tmp_path):
+        g = np.random.default_rng(0)
+        x = g.integers(0, 999, 1000)
+        runs = form_runs(x, 256, str(tmp_path))
+        assert len(runs) == 4
+        total = 0
+        for r in runs:
+            data = r.read_all()
+            assert np.all(data[:-1] <= data[1:])
+            total += len(data)
+        assert total == 1000
+
+    def test_iterable_input(self, tmp_path):
+        runs = form_runs((i % 7 for i in range(100)), 30, str(tmp_path))
+        assert sum(r.length for r in runs) == 100
+
+    def test_io_charged(self, tmp_path):
+        io = IOCounter(block_elements=64)
+        form_runs(np.arange(256), 128, str(tmp_path), io=io)
+        assert io.read_blocks == 4   # 256 elements in
+        assert io.write_blocks == 4  # 256 elements out
+
+    def test_missing_directory(self):
+        with pytest.raises(InputError):
+            form_runs(np.arange(4), 2, "/nonexistent/dir")
+
+    def test_chunked_reader(self, tmp_path):
+        [run] = form_runs(np.arange(100), 100, str(tmp_path))
+        chunks = list(run.read_chunks(13))
+        assert [len(c) for c in chunks[:-1]] == [13] * 7
+        np.testing.assert_array_equal(np.concatenate(chunks), np.arange(100))
+
+
+class TestMergeRunFiles:
+    def test_merges_sorted(self, tmp_path):
+        g = np.random.default_rng(1)
+        x = g.integers(0, 99, 600)
+        runs = form_runs(x, 100, str(tmp_path))
+        merged = merge_run_files(runs, str(tmp_path), window_elements=16)
+        np.testing.assert_array_equal(merged.read_all(), np.sort(x))
+
+    def test_single_run_passthrough(self, tmp_path):
+        [run] = form_runs(np.arange(10), 100, str(tmp_path))
+        assert merge_run_files([run], str(tmp_path), window_elements=4) is run
+
+    def test_empty_list_rejected(self, tmp_path):
+        with pytest.raises(InputError):
+            merge_run_files([], str(tmp_path), window_elements=4)
+
+
+class TestExternalSort:
+    @pytest.mark.parametrize("n,mem", [(0, 16), (1, 16), (100, 16),
+                                       (1000, 64), (5000, 128)])
+    def test_sorts(self, n, mem):
+        g = np.random.default_rng(n)
+        x = g.integers(0, 10**6, n)
+        out = external_sort(x, mem)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_fits_in_memory_single_run(self):
+        x = np.array([3, 1, 2])
+        np.testing.assert_array_equal(external_sort(x, 100), [1, 2, 3])
+
+    def test_multiple_merge_passes(self):
+        # fan_in 2 with 8 runs forces 3 passes
+        g = np.random.default_rng(5)
+        x = g.integers(0, 999, 800)
+        io = IOCounter(block_elements=32)
+        out = external_sort(x, 100, fan_in=2, window_elements=25, io=io)
+        np.testing.assert_array_equal(out, np.sort(x))
+        # 8 runs -> 3 passes: each pass reads+writes all data once,
+        # plus run formation; transfers must reflect multiple passes
+        assert io.total_blocks > 3 * (800 // 32)
+
+    def test_io_vs_av_bound(self):
+        g = np.random.default_rng(6)
+        n, mem, block = 20_000, 2048, 128
+        x = g.integers(0, 10**6, n)
+        io = IOCounter(block_elements=block)
+        out = external_sort(x, mem, io=io)
+        np.testing.assert_array_equal(out, np.sort(x))
+        bound = aggarwal_vitter_bound(n, mem, block)
+        # measured transfers within a small constant of the lower bound
+        assert bound < io.total_blocks < 12 * bound
+
+    def test_duplicate_heavy(self):
+        g = np.random.default_rng(7)
+        x = g.integers(0, 5, 2000)
+        np.testing.assert_array_equal(external_sort(x, 128), np.sort(x))
+
+    def test_fan_in_validation(self):
+        with pytest.raises(InputError):
+            external_sort(np.arange(10), 8, fan_in=1)
+
+    def test_explicit_directory(self, tmp_path):
+        x = np.random.default_rng(8).integers(0, 99, 300)
+        out = external_sort(x, 64, directory=str(tmp_path))
+        np.testing.assert_array_equal(out, np.sort(x))
+        assert len(os.listdir(tmp_path)) > 0  # spills visible to caller
+
+
+class TestMergeRunStability:
+    def test_ties_resolve_by_run_order(self, tmp_path):
+        """Equal values must come out in run order (earlier run first) —
+        the k-way analogue of the A-before-B rule, carried by the heap's
+        (value, run_index) keys."""
+        import numpy as np
+        from repro.external.runs import form_runs
+        from repro.external.sort import merge_run_files
+
+        # two runs of identical values; verify by merging runs whose
+        # *lengths* differ so misordering would change the prefix
+        r1 = form_runs(np.array([5, 5, 5]), 10, str(tmp_path))[0]
+        r2 = form_runs(np.array([5]), 10, str(tmp_path))[0]
+        merged = merge_run_files([r1, r2], str(tmp_path), window_elements=2)
+        assert merged.length == 4
+        # and with distinct markers: values equal, dtype float halves
+        a = form_runs(np.array([1.0, 2.0]), 10, str(tmp_path))[0]
+        b = form_runs(np.array([1.0, 3.0]), 10, str(tmp_path))[0]
+        out = merge_run_files([a, b], str(tmp_path), window_elements=2)
+        np.testing.assert_array_equal(out.read_all(), [1.0, 1.0, 2.0, 3.0])

@@ -1,0 +1,191 @@
+"""Tests for the SIMT blocked merge (GPU execution model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError, NotSortedError
+from repro.gpu import GPUSpec, KernelStats, blocked_merge, default_gpu, plan_tiles
+
+from .conftest import reference_merge
+
+
+def small_spec(tpb=4, vt=3):
+    return GPUSpec(threads_per_block=tpb, items_per_thread=vt,
+                   shared_limit_elements=1024)
+
+
+class TestGPUSpec:
+    def test_tile_size(self):
+        assert small_spec(4, 3).tile_size == 12
+
+    def test_default_is_moderngpu_tuning(self):
+        spec = default_gpu()
+        assert (spec.threads_per_block, spec.items_per_thread) == (128, 7)
+
+    def test_rejects_tile_exceeding_shared(self):
+        with pytest.raises(InputError):
+            GPUSpec(threads_per_block=64, items_per_thread=64,
+                    shared_limit_elements=1024)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InputError):
+            GPUSpec(threads_per_block=0)
+
+
+class TestPlanTiles:
+    def test_tiles_cover_output(self):
+        g = np.random.default_rng(0)
+        a = np.sort(g.integers(0, 99, 50))
+        b = np.sort(g.integers(0, 99, 41))
+        plans = plan_tiles(a, b, small_spec())
+        assert plans[0].out_start == 0
+        assert plans[-1].out_end == 91
+        for p1, p2 in zip(plans, plans[1:]):
+            assert p2.out_start == p1.out_end
+            assert p2.a_start == p1.a_end
+            assert p2.b_start == p1.b_end
+
+    def test_tile_windows_bounded_by_nv(self):
+        g = np.random.default_rng(1)
+        a = np.sort(g.integers(0, 99, 100))
+        b = np.sort(g.integers(0, 99, 100))
+        spec = small_spec()
+        for plan in plan_tiles(a, b, spec):
+            assert plan.staged_elements <= spec.tile_size
+
+    def test_single_tile_small_input(self):
+        plans = plan_tiles(np.array([1]), np.array([2]), small_spec())
+        assert len(plans) == 1
+
+
+class TestBlockedMergeCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed, sorted_pair_random):
+        a, b = sorted_pair_random
+        out, _ = blocked_merge(a, b, small_spec())
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+
+    def test_large_multi_tile(self):
+        g = np.random.default_rng(7)
+        a = np.sort(g.integers(0, 10**6, 10_000))
+        b = np.sort(g.integers(0, 10**6, 9_000))
+        out, stats = blocked_merge(a, b, small_spec(32, 4))
+        np.testing.assert_array_equal(out, reference_merge(a, b))
+        assert stats.tiles == -(-19_000 // 128)
+
+    def test_duplicates_stable_values(self):
+        a = np.full(100, 3)
+        b = np.full(77, 3)
+        out, _ = blocked_merge(a, b, small_spec())
+        assert len(out) == 177
+
+    def test_empty(self):
+        out, stats = blocked_merge(np.array([], dtype=int),
+                                   np.array([], dtype=int))
+        assert len(out) == 0
+        assert stats.tiles == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            blocked_merge(np.array([2, 1]), np.array([3]))
+
+    def test_matches_parallel_merge(self):
+        from repro.core.parallel_merge import parallel_merge
+
+        g = np.random.default_rng(3)
+        a = np.sort(g.integers(0, 30, 500))
+        b = np.sort(g.integers(0, 30, 477))
+        gpu_out, _ = blocked_merge(a, b, small_spec(8, 4))
+        cpu_out = parallel_merge(a, b, 4, backend="serial")
+        np.testing.assert_array_equal(gpu_out, cpu_out)
+
+
+class TestKernelStats:
+    def test_thread_uniformity(self):
+        """The SIMT selling point: every thread does exactly VT steps
+        (except the single ragged tail thread)."""
+        g = np.random.default_rng(9)
+        a = np.sort(g.integers(0, 10**6, 5_000))
+        b = np.sort(g.integers(0, 10**6, 4_321))
+        spec = small_spec(16, 5)
+        _, stats = blocked_merge(a, b, spec)
+        non_full = [s for s in stats.thread_steps if s != 5]
+        assert len(non_full) <= 1
+        assert stats.max_thread_steps <= spec.items_per_thread
+
+    def test_traffic_accounting(self):
+        g = np.random.default_rng(10)
+        a = np.sort(g.integers(0, 99, 300))
+        b = np.sort(g.integers(0, 99, 288))
+        _, stats = blocked_merge(a, b, small_spec())
+        n = 588
+        assert stats.global_loads == n      # each element staged once
+        assert stats.global_stores == n     # each output written once
+        assert sum(stats.thread_steps) == n
+        assert stats.shared_loads == 2 * n
+
+    def test_stats_disabled(self):
+        out, stats = blocked_merge(
+            np.array([1, 3]), np.array([2]), small_spec(), collect_stats=False
+        )
+        np.testing.assert_array_equal(out, [1, 2, 3])
+        assert stats.thread_steps == []
+
+
+class TestBlockedSort:
+    from repro.gpu import blocked_sort  # noqa: F401 - import check
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 13, 100, 1000, 4097])
+    def test_sorts(self, n):
+        from repro.gpu import blocked_sort
+
+        g = np.random.default_rng(n)
+        x = g.integers(-500, 500, n)
+        out, _ = blocked_sort(x, small_spec())
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_round_count_log_tiles(self):
+        from repro.gpu import blocked_sort
+
+        spec = small_spec(8, 4)  # NV = 32
+        x = np.random.default_rng(1).integers(0, 99, 32 * 16)
+        _, stats = blocked_sort(x, spec)
+        assert stats.tiles == 16
+        assert stats.merge_rounds == 4
+
+    def test_each_round_moves_all_data(self):
+        from repro.gpu import blocked_sort
+
+        spec = small_spec(8, 4)
+        n = 32 * 8
+        x = np.random.default_rng(2).integers(0, 99, n)
+        _, stats = blocked_sort(x, spec)
+        for rs in stats.round_stats:
+            assert rs.global_loads == n
+            assert rs.global_stores == n
+
+    def test_comparator_accounting(self):
+        from repro.gpu import blocked_sort
+
+        spec = small_spec(4, 4)  # NV = 16 -> bitonic-16: 80 comparators
+        x = np.random.default_rng(3).integers(0, 99, 64)
+        _, stats = blocked_sort(x, spec)
+        assert stats.tiles == 4
+        assert stats.block_sort_comparators == 4 * 80
+        assert stats.block_sort_depth == 10
+
+    def test_matches_numpy(self):
+        from repro.gpu import blocked_sort
+
+        g = np.random.default_rng(4)
+        x = g.random(3000)
+        out, _ = blocked_sort(x)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_input_not_mutated(self):
+        from repro.gpu import blocked_sort
+
+        x = np.array([3, 1, 2])
+        x0 = x.copy()
+        blocked_sort(x, small_spec())
+        np.testing.assert_array_equal(x, x0)

@@ -1,0 +1,31 @@
+"""Tests for the selftest battery."""
+
+import numpy as np
+
+from repro.selftest import run_selftest
+
+
+class TestSelftest:
+    def test_all_checks_pass_quiet(self):
+        assert run_selftest(verbose=False) == 0
+
+    def test_broken_backend_is_caught(self):
+        from repro.backends.base import Backend
+
+        class NoOpBackend(Backend):
+            """Executes nothing — every merge output stays garbage."""
+
+            name = "noop"
+
+            def run_tasks(self, tasks):
+                return []
+
+        failures = run_selftest(backend=NoOpBackend(), verbose=False)
+        assert failures > 0
+
+    def test_cli_exit_codes(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out

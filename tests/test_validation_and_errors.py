@@ -1,0 +1,130 @@
+"""Tests for the validation helpers and exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.validation import (
+    as_array,
+    check_mergeable,
+    check_positive,
+    check_range,
+    check_sorted,
+    first_disorder,
+)
+
+
+class TestAsArray:
+    def test_passthrough_no_copy(self):
+        x = np.array([1, 2])
+        assert as_array(x) is x
+
+    def test_list_coerced(self):
+        out = as_array([1, 2, 3])
+        assert isinstance(out, np.ndarray)
+
+    def test_rejects_2d(self):
+        with pytest.raises(errors.InputError, match="1-D"):
+            as_array(np.zeros((2, 2)))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(errors.InputError):
+            as_array(np.float64(3.0))
+
+
+class TestFirstDisorder:
+    def test_sorted_returns_none(self):
+        assert first_disorder(np.array([1, 2, 2, 3])) is None
+
+    def test_finds_first_violation(self):
+        assert first_disorder(np.array([1, 5, 3, 2])) == 1
+
+    def test_short_arrays(self):
+        assert first_disorder(np.array([])) is None
+        assert first_disorder(np.array([7])) is None
+
+
+class TestCheckSorted:
+    def test_error_carries_name_and_index(self):
+        with pytest.raises(errors.NotSortedError) as exc:
+            check_sorted(np.array([1, 3, 2]), "B")
+        assert exc.value.name == "B"
+        assert exc.value.index == 1
+        assert "B" in str(exc.value)
+
+
+class TestCheckMergeable:
+    def test_accepts_compatible(self):
+        check_mergeable(np.array([1, 2]), np.array([1.5]))
+
+    def test_rejects_text_numeric_mix(self):
+        with pytest.raises(errors.DTypeMismatchError):
+            check_mergeable(np.array([1]), np.array(["a"]), check_order=False)
+
+    def test_text_with_text_ok(self):
+        check_mergeable(np.array(["a", "b"]), np.array(["c"]))
+
+    def test_order_check_optional(self):
+        check_mergeable(np.array([2, 1]), np.array([1]), check_order=False)
+
+
+class TestCheckPositive:
+    def test_accepts_numpy_integer(self):
+        check_positive(np.int64(3), "p")
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(errors.InputError):
+            check_positive(0, "p")
+        with pytest.raises(errors.InputError):
+            check_positive(-2, "p")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(errors.InputError):
+            check_positive(True, "p")
+        with pytest.raises(errors.InputError):
+            check_positive(2.0, "p")
+
+
+class TestCheckRange:
+    def test_inclusive_bounds(self):
+        check_range(1, "x", 1, 3)
+        check_range(3, "x", 1, 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(errors.InputError):
+            check_range(4, "x", 1, 3)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc_type in (
+            errors.InputError,
+            errors.NotSortedError,
+            errors.DTypeMismatchError,
+            errors.PartitionError,
+            errors.SimulationError,
+            errors.MemoryConflictError,
+            errors.DeadlockError,
+            errors.BackendError,
+            errors.ExperimentError,
+            errors.UnknownExperimentError,
+        ):
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_input_errors_are_value_errors(self):
+        assert issubclass(errors.InputError, ValueError)
+        assert issubclass(errors.NotSortedError, ValueError)
+
+    def test_unknown_experiment_is_key_error(self):
+        assert issubclass(errors.UnknownExperimentError, KeyError)
+
+    def test_memory_conflict_payload(self):
+        e = errors.MemoryConflictError("CREW write", ("S", 3), (2, 0))
+        assert e.kind == "CREW write"
+        assert e.address == ("S", 3)
+        assert "[0, 2]" in str(e)
+
+    def test_unknown_experiment_message(self):
+        e = errors.UnknownExperimentError("NOPE", ("FIG5", "LB"))
+        assert "NOPE" in str(e)
+        assert "FIG5" in str(e)

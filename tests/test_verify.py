@@ -1,0 +1,123 @@
+"""Tests for the public verifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge_path import partition_merge_path
+from repro.errors import PartitionError
+from repro.types import Partition, Segment
+from repro.verify import (
+    VerificationError,
+    verify_merged,
+    verify_partition,
+    verify_sorted,
+)
+
+
+class TestVerifySorted:
+    def test_accepts_sorted(self):
+        verify_sorted(np.array([1, 1, 2]))
+
+    def test_rejects_with_location(self):
+        with pytest.raises(VerificationError, match=r"x\[1\]"):
+            verify_sorted(np.array([1, 5, 3]), "x")
+
+
+class TestVerifyMerged:
+    def test_accepts_correct_merge(self):
+        a = np.array([1, 3])
+        b = np.array([2, 4])
+        verify_merged(np.array([1, 2, 3, 4]), a, b)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(VerificationError, match="length"):
+            verify_merged(np.array([1, 2]), np.array([1]), np.array([2, 3]))
+
+    def test_rejects_unsorted_output(self):
+        with pytest.raises(VerificationError, match="not sorted"):
+            verify_merged(np.array([2, 1]), np.array([1]), np.array([2]))
+
+    def test_rejects_wrong_multiset(self):
+        # sorted, right length, but an element was duplicated/lost
+        with pytest.raises(VerificationError, match="permutation"):
+            verify_merged(np.array([1, 1, 3]), np.array([1, 2]), np.array([3]))
+
+    def test_catches_naive_split_failure(self):
+        from repro.baselines.naive_split import naive_split_merge
+        from repro.workloads.adversarial import disjoint_high_low
+
+        a, b = disjoint_high_low(16)
+        with pytest.raises(VerificationError):
+            verify_merged(naive_split_merge(a, b, 4), a, b)
+
+
+class TestVerifyPartition:
+    def test_accepts_real_partition(self):
+        g = np.random.default_rng(0)
+        a = np.sort(g.integers(0, 20, 40))  # duplicates stress tie checks
+        b = np.sort(g.integers(0, 20, 35))
+        for p in (1, 3, 8):
+            verify_partition(partition_merge_path(a, b, p), a, b)
+
+    def test_rejects_structural_break(self):
+        a = np.array([1, 2])
+        b = np.array([3])
+        broken = Partition(
+            a_len=2, b_len=1,
+            segments=(Segment(0, 0, 2, 0, 0, 0, 2),),  # misses B
+        )
+        with pytest.raises(PartitionError, match="structural"):
+            verify_partition(broken, a, b)
+
+    def test_rejects_wrong_arrays(self):
+        a = np.array([1, 2])
+        b = np.array([3])
+        part = partition_merge_path(a, b, 2)
+        with pytest.raises(PartitionError, match="built for"):
+            verify_partition(part, np.array([1, 2, 3]), b)
+
+    def test_rejects_off_path_cut(self):
+        # structurally fine, but the cut is not a merge-path point:
+        # A = [10, 20], B = [1, 2]; cutting at (i=1, j=0) claims A[0]=10
+        # precedes B[0]=1 in the merge — false.
+        a = np.array([10, 20])
+        b = np.array([1, 2])
+        # balanced (2+2) but cut at (i=1, j=1): claims A[0]=10 precedes
+        # B[1]=2 in the merge — false (the true path point at rank 2 is
+        # (0, 2)).
+        bad = Partition(
+            a_len=2, b_len=2,
+            segments=(
+                Segment(0, 0, 1, 0, 1, 0, 2),
+                Segment(1, 1, 2, 1, 2, 2, 4),
+            ),
+        )
+        with pytest.raises(PartitionError, match="not on the merge path"):
+            verify_partition(bad, a, b)
+
+    def test_rejects_tie_rule_violation(self):
+        # equal keys split so B's copy comes before A's remaining copy
+        a = np.array([5, 5])
+        b = np.array([5])
+        bad = Partition(
+            a_len=2, b_len=1,
+            segments=(
+                Segment(0, 0, 1, 0, 1, 0, 2),  # takes A[0], B[0]
+                Segment(1, 1, 2, 1, 1, 2, 3),
+            ),
+        )
+        with pytest.raises(PartitionError, match="tie rule"):
+            verify_partition(bad, a, b)
+
+    def test_rejects_imbalance(self):
+        a = np.arange(8)
+        b = np.array([], dtype=np.int64)
+        bad = Partition(
+            a_len=8, b_len=0,
+            segments=(
+                Segment(0, 0, 6, 0, 0, 0, 6),
+                Segment(1, 6, 8, 0, 0, 6, 8),
+            ),
+        )
+        with pytest.raises(PartitionError, match="Corollary 7"):
+            verify_partition(bad, a, b)

@@ -1,0 +1,59 @@
+"""Tests for the adversarial input generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.adversarial import (
+    ADVERSARIAL_PAIRS,
+    all_equal,
+    disjoint_high_low,
+    disjoint_low_high,
+    one_sided_tail,
+    organ_pipe_pair,
+    perfect_interleave,
+    staircase_runs,
+)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_PAIRS))
+    def test_all_pairs_sorted(self, name):
+        a, b = ADVERSARIAL_PAIRS[name](64)
+        assert np.all(a[:-1] <= a[1:])
+        assert np.all(b[:-1] <= b[1:])
+
+    def test_disjoint_low_high(self):
+        a, b = disjoint_low_high(8)
+        assert a.max() < b.min()
+
+    def test_disjoint_high_low(self):
+        a, b = disjoint_high_low(8)
+        assert b.max() < a.min()
+
+    def test_perfect_interleave_covers_range(self):
+        a, b = perfect_interleave(8)
+        np.testing.assert_array_equal(np.sort(np.concatenate([a, b])),
+                                      np.arange(16))
+
+    def test_all_equal(self):
+        a, b = all_equal(5, value=9)
+        assert set(a) == set(b) == {9}
+
+    def test_organ_pipe_lengths(self):
+        a, b = organ_pipe_pair(11)
+        assert len(a) == len(b) == 11
+
+    def test_staircase_runs_alternate(self):
+        a, b = staircase_runs(128, run=16)
+        # all of A's first run precedes all of B's first run
+        assert a[15] < b[0]
+        assert b[15] < a[16]
+
+    def test_one_sided_tail_sizes(self):
+        a, b = one_sided_tail(4, 100)
+        assert len(a) == 4 and len(b) == 100
+
+    def test_registry_callable_with_single_n(self):
+        for make in ADVERSARIAL_PAIRS.values():
+            a, b = make(16)
+            assert len(a) >= 1

@@ -1,0 +1,60 @@
+"""Tests for the example-scenario datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.workloads.datasets import log_records, timeseries_shards
+
+
+class TestLogRecords:
+    def test_stream_count_and_total(self):
+        streams = log_records(1000, 0, sources=4)
+        assert len(streams) == 4
+        assert sum(len(s) for s in streams) == 1000
+
+    def test_each_stream_sorted(self):
+        for s in log_records(500, 1, sources=3):
+            assert np.all(s[:-1] <= s[1:])
+
+    def test_timestamps_plausible(self):
+        streams = log_records(100, 2, start_epoch=1000, span_s=10)
+        for s in streams:
+            assert s.min() >= 1000
+
+    def test_deterministic(self):
+        a = log_records(200, 9)
+        b = log_records(200, 9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_more_sources_than_records(self):
+        streams = log_records(2, 0, sources=5)
+        assert sum(len(s) for s in streams) == 2
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            log_records(0)
+        with pytest.raises(InputError):
+            log_records(10, span_s=0)
+
+
+class TestTimeseriesShards:
+    def test_shards_sorted_and_overlapping(self):
+        shards = timeseries_shards(900, 3, 0)
+        assert len(shards) == 3
+        for s in shards:
+            assert np.all(s[:-1] <= s[1:])
+        # designed overlap: shard k+1 starts before shard k ends
+        assert shards[1][0] < shards[0][-1]
+
+    def test_concatenation_not_sorted(self):
+        shards = timeseries_shards(600, 3, 1)
+        cat = np.concatenate(shards)
+        assert not np.all(cat[:-1] <= cat[1:])
+
+    def test_validation(self):
+        with pytest.raises(InputError):
+            timeseries_shards(0, 2)
+        with pytest.raises(InputError):
+            timeseries_shards(10, 0)

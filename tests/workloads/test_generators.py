@@ -1,0 +1,121 @@
+"""Tests for the statistical workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InputError
+from repro.workloads.generators import (
+    rng_from,
+    sorted_gaussian,
+    sorted_pair,
+    sorted_uniform_floats,
+    sorted_uniform_ints,
+    sorted_zipf_duplicates,
+    unsorted_uniform_ints,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        np.testing.assert_array_equal(
+            sorted_uniform_ints(100, 42), sorted_uniform_ints(100, 42)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            sorted_uniform_ints(100, 1), sorted_uniform_ints(100, 2)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert rng_from(g) is g
+
+
+class TestProperties:
+    @pytest.mark.parametrize(
+        "maker",
+        [sorted_uniform_ints, sorted_uniform_floats, sorted_gaussian,
+         sorted_zipf_duplicates],
+    )
+    def test_sorted_output(self, maker):
+        x = maker(500, 3)
+        assert np.all(x[:-1] <= x[1:])
+
+    def test_uniform_ints_dtype_and_range(self):
+        x = sorted_uniform_ints(1000, 0, low=10, high=20)
+        assert x.dtype == np.int32
+        assert x.min() >= 10 and x.max() < 20
+
+    def test_zipf_has_heavy_duplicates(self):
+        x = sorted_zipf_duplicates(2000, 0)
+        _, counts = np.unique(x, return_counts=True)
+        assert counts.max() > 100
+
+    def test_zero_length(self):
+        assert len(sorted_uniform_ints(0)) == 0
+
+    def test_unsorted_variant_not_presorted(self):
+        x = unsorted_uniform_ints(5000, 1)
+        assert not np.all(x[:-1] <= x[1:])
+
+
+class TestSortedPair:
+    def test_unequal_lengths(self):
+        a, b = sorted_pair(10, 25, 0)
+        assert len(a) == 10 and len(b) == 25
+
+    def test_all_kinds(self):
+        for kind in ("uniform_ints", "uniform_floats", "gaussian",
+                     "zipf_duplicates"):
+            a, b = sorted_pair(30, 30, 0, kind=kind)
+            assert np.all(a[:-1] <= a[1:])
+            assert np.all(b[:-1] <= b[1:])
+
+    def test_unknown_kind(self):
+        with pytest.raises(InputError):
+            sorted_pair(5, 5, 0, kind="mystery")
+
+
+class TestValidation:
+    def test_negative_n(self):
+        with pytest.raises(InputError):
+            sorted_uniform_ints(-1)
+
+    def test_bad_range(self):
+        with pytest.raises(InputError):
+            sorted_uniform_ints(5, low=10, high=10)
+
+    def test_bad_sigma(self):
+        with pytest.raises(InputError):
+            sorted_gaussian(5, sigma=0)
+
+    def test_bad_zipf_exponent(self):
+        with pytest.raises(InputError):
+            sorted_zipf_duplicates(5, a=1.0)
+
+
+class TestNearlySorted:
+    def test_swap_fraction_zero_is_sorted(self):
+        from repro.workloads.generators import nearly_sorted
+
+        x = nearly_sorted(100, 0, swap_fraction=0.0)
+        assert np.all(x[:-1] <= x[1:])
+
+    def test_small_fraction_few_inversions(self):
+        from repro.workloads.generators import nearly_sorted
+
+        x = nearly_sorted(10_000, 1, swap_fraction=0.01)
+        inversions = int(np.sum(x[:-1] > x[1:]))
+        assert 0 < inversions < 600
+
+    def test_is_permutation(self):
+        from repro.workloads.generators import nearly_sorted
+
+        x = nearly_sorted(500, 2, swap_fraction=0.1)
+        np.testing.assert_array_equal(np.sort(x), np.arange(500))
+
+    def test_fraction_validation(self):
+        from repro.workloads.generators import nearly_sorted
+
+        with pytest.raises(InputError):
+            nearly_sorted(10, swap_fraction=1.5)
