@@ -37,20 +37,30 @@ def _fig5_chart(result: ExperimentResult) -> str:
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in args
+    full = "--full" in args
     chart = "--chart" in args
-    args = [a for a in args if a not in ("--quick", "--chart")]
+    args = [a for a in args if a not in ("--quick", "--full", "--chart")]
 
     if not args:
         print("usage: python -m repro [--quick] [--chart] EXP_ID [EXP_ID ...]"
-              " | all | report | selftest | scorecard | api\n")
+              " | all | report | selftest | scorecard | conformance | api\n")
         print("available experiments:")
         for exp_id, (_fn, desc) in EXPERIMENTS.items():
             print(f"  {exp_id:<8} {desc}")
-        print("\n  report     run everything and emit a Markdown report")
-        print("  selftest   verify every implementation on an input grid")
-        print("  scorecard  evaluate all 14 paper claims as PASS/FAIL")
-        print("  api        print the public-API index")
+        print("\n  report       run everything and emit a Markdown report")
+        print("  selftest     verify every implementation on an input grid")
+        print("  scorecard    evaluate all 14 paper claims as PASS/FAIL")
+        print("  conformance  differential-fuzz every implementation against")
+        print("               the oracle (--quick | --full tiers)")
+        print("  api          print the public-API index")
         return 0
+
+    if args == ["conformance"]:
+        from .conformance import render_report, run_conformance
+
+        report = run_conformance("full" if full else "quick")
+        print(render_report(report))
+        return 0 if report.ok else 1
 
     if args == ["report"]:
         from .analysis.report import generate_report

@@ -101,7 +101,10 @@ def akl_santoro_partition(
                 out_start=s.diagonal, out_end=e.diagonal,
             )
         )
-    # Re-pad to exactly p segments when duplicate ranks collapsed (p > n).
+    # Re-pad to exactly p segments when duplicate ranks collapsed
+    # (p > n, including the fully empty merge where n == 0).
+    if not segs:
+        segs.append(Segment(0, 0, 0, 0, 0, 0, 0))
     while len(segs) < p:
         last = segs[-1]
         segs.append(

@@ -1,0 +1,73 @@
+"""Conformance subsystem: one oracle, every implementation.
+
+The paper's claims are *invariants* — the merge path crosses each cross
+diagonal at a unique flip point (Proposition 13), ``p`` equispaced
+diagonals yield segments whose sizes differ by at most one (Theorem 14 /
+Corollary 7), parallel merge is lock-free because output slices are
+disjoint, and every merge in the package is stable (``A`` before equal
+``B``).  This package machine-checks all of them uniformly, against
+every merge and sort entry point in the codebase:
+
+``registry``
+    Enumerates each implementation (core kernels, execution backends,
+    baselines, GPU model, PRAM programs, k-way, streaming, in-place,
+    set operations) behind a uniform callable signature.
+``workloads``
+    Deterministic case generation: adversarial patterns, heavy
+    duplicates, empty/singleton inputs, ``p >> N``, and signed-zero
+    stability probes (``-0.0`` in A, ``+0.0`` in B compare equal but
+    are distinguishable by sign bit, making tie order observable even
+    through value-only APIs).
+``fuzzer``
+    Drives each implementation against the sequential oracle and
+    shrinks any mismatch to a small reproducer.
+``invariants``
+    Theorem 14 balance, Proposition 13 flip-point uniqueness, and
+    output-slice disjointness checkers.
+``races``
+    Per-slice write-set tracking on the threads backend: flags
+    overlapping writes or writes outside a task's declared slice.
+``runner``
+    ``run_conformance(tier=...)`` — the ``python -m repro conformance``
+    entry point and the pytest quick tier.
+"""
+
+from .fuzzer import Mismatch, compare_merge, compare_sort, minimize_merge_case
+from .invariants import (
+    check_flip_point_uniqueness,
+    check_partition_balance,
+    check_slice_disjointness,
+)
+from .races import RaceFinding, audited_parallel_merge
+from .registry import Implementation, build_registry
+from .runner import (
+    DEFAULT_SEED,
+    ConformanceReport,
+    ImplementationReport,
+    render_report,
+    run_conformance,
+)
+from .workloads import MergeCase, SortCase, merge_cases, sort_cases
+
+__all__ = [
+    "Implementation",
+    "build_registry",
+    "MergeCase",
+    "SortCase",
+    "merge_cases",
+    "sort_cases",
+    "Mismatch",
+    "compare_merge",
+    "compare_sort",
+    "minimize_merge_case",
+    "check_partition_balance",
+    "check_flip_point_uniqueness",
+    "check_slice_disjointness",
+    "RaceFinding",
+    "audited_parallel_merge",
+    "run_conformance",
+    "render_report",
+    "ConformanceReport",
+    "ImplementationReport",
+    "DEFAULT_SEED",
+]

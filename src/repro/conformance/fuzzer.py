@@ -1,0 +1,356 @@
+"""Differential oracle fuzzing with reproducer minimization.
+
+Every implementation is driven over the deterministic workload grid and
+compared against the sequential oracle (stable sort of the
+concatenation — the definitionally correct stable merge).  A mismatch
+is captured as a structured :class:`Mismatch` and then *shrunk*: the
+minimizer greedily deletes chunks and single elements from the inputs
+(and lowers ``p``) while the failure persists, so the report carries a
+small, copy-pasteable reproducer rather than a 250-element dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .invariants import stable_merge_oracle
+from .registry import Implementation
+from .workloads import KwayCase, MergeCase, SortCase
+
+__all__ = [
+    "Mismatch",
+    "compare_merge",
+    "compare_keyed",
+    "compare_setop",
+    "compare_kway",
+    "compare_sort",
+    "run_merge_case",
+    "run_sort_case",
+    "run_kway_case",
+    "minimize_merge_case",
+    "minimize_sort_case",
+]
+
+#: Cap on oracle re-runs during one minimization, so a pathological
+#: shrink cannot blow the tier's time budget.
+SHRINK_BUDGET = 400
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A confirmed implementation/oracle divergence, minimized.
+
+    ``inputs`` holds the *minimized* failing inputs; ``reproducer`` is a
+    self-contained snippet that rebuilds them and re-runs the check.
+    """
+
+    impl: str
+    case: str
+    detail: str
+    inputs: dict[str, object]
+    reproducer: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"{self.impl} failed on case {self.case!r}: {self.detail}\n"
+            f"reproducer:\n{self.reproducer}"
+        )
+
+
+def _first_divergence(got: np.ndarray, ref: np.ndarray) -> str:
+    if len(got) != len(ref):
+        return f"output length {len(got)} != expected {len(ref)}"
+    diff = np.nonzero(got != ref)[0]
+    if diff.size:
+        k = int(diff[0])
+        return f"first divergence at index {k}: got {got[k]!r}, expected {ref[k]!r}"
+    return "outputs differ"
+
+
+def compare_merge(
+    out: object, a: np.ndarray, b: np.ndarray, *, stable: bool
+) -> str | None:
+    """Return a failure description, or ``None`` when ``out`` matches the
+    oracle (including signed-zero tie order for stable implementations)."""
+    ref = stable_merge_oracle(a, b)
+    if not isinstance(out, np.ndarray):
+        return f"returned {type(out).__name__}, expected ndarray"
+    if out.shape != ref.shape:
+        return f"output length {len(out)} != |A|+|B| = {len(ref)}"
+    if not np.array_equal(out, ref):
+        return _first_divergence(out, ref)
+    if stable and np.issubdtype(ref.dtype, np.floating):
+        got_signs = np.signbit(out)
+        ref_signs = np.signbit(ref)
+        if not np.array_equal(got_signs, ref_signs):
+            k = int(np.nonzero(got_signs != ref_signs)[0][0])
+            return (
+                f"stability violation: tie order differs at index {k} "
+                f"(signed-zero probe: A's -0.0 must precede B's +0.0)"
+            )
+    return None
+
+
+def compare_keyed(out: object, a: np.ndarray, b: np.ndarray) -> str | None:
+    """Check a gather-index permutation against the stable argsort oracle."""
+    ref = np.argsort(np.concatenate([a, b]), kind="stable")
+    if not isinstance(out, np.ndarray):
+        return f"returned {type(out).__name__}, expected index ndarray"
+    if out.shape != ref.shape:
+        return f"permutation length {len(out)} != |A|+|B| = {len(ref)}"
+    if not np.array_equal(np.asarray(out, dtype=np.int64), ref):
+        k = int(np.nonzero(np.asarray(out, dtype=np.int64) != ref)[0][0])
+        return (
+            f"gather permutation differs from stable order at position {k}: "
+            f"got index {int(out[k])}, expected {int(ref[k])}"
+        )
+    return None
+
+
+#: std::set_* multiset semantics, per distinct value with multiplicity
+#: ``ca`` in A and ``cb`` in B.
+_SETOP_COUNT: dict[str, Callable[[int, int], int]] = {
+    "union": lambda ca, cb: max(ca, cb),
+    "intersection": lambda ca, cb: min(ca, cb),
+    "difference": lambda ca, cb: max(ca - cb, 0),
+    "symmetric_difference": lambda ca, cb: abs(ca - cb),
+}
+
+
+def compare_setop(out: object, a: np.ndarray, b: np.ndarray, op: str) -> str | None:
+    """Check a multiset operation against an independent Counter oracle.
+
+    Deliberately *not* built on the production count-space machinery:
+    plain ``collections.Counter`` over Python scalars, so the oracle
+    shares no code with the implementation under test.
+    """
+    from collections import Counter
+
+    counts_a = Counter(a.tolist())
+    counts_b = Counter(b.tolist())
+    combine = _SETOP_COUNT[op]
+    ref_list: list = []
+    for v in sorted(set(counts_a) | set(counts_b)):
+        ref_list.extend([v] * combine(counts_a[v], counts_b[v]))
+    if not isinstance(out, np.ndarray):
+        return f"returned {type(out).__name__}, expected ndarray"
+    if len(out) != len(ref_list):
+        return f"output length {len(out)} != expected {len(ref_list)}"
+    ref = np.asarray(ref_list, dtype=out.dtype) if ref_list else out[:0]
+    if len(ref) and not np.array_equal(out, ref):
+        return _first_divergence(out, ref)
+    return None
+
+
+def compare_kway(out: object, arrays: tuple[np.ndarray, ...]) -> str | None:
+    if arrays:
+        merged = np.concatenate(arrays)
+        ref = np.sort(merged, kind="stable")
+    else:
+        ref = np.empty(0)
+    if not isinstance(out, np.ndarray):
+        return f"returned {type(out).__name__}, expected ndarray"
+    if out.shape != ref.shape:
+        return f"output length {len(out)} != total {len(ref)}"
+    if len(ref) and not np.array_equal(out, ref):
+        return _first_divergence(out, ref)
+    return None
+
+
+def compare_sort(out: object, x: np.ndarray) -> str | None:
+    ref = np.sort(x, kind="stable")
+    if not isinstance(out, np.ndarray):
+        return f"returned {type(out).__name__}, expected ndarray"
+    if out.shape != ref.shape:
+        return f"output length {len(out)} != input length {len(ref)}"
+    if not np.array_equal(out, ref):
+        return _first_divergence(out, ref)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Case execution
+# ----------------------------------------------------------------------
+def run_merge_case(impl: Implementation, case: MergeCase) -> str | None:
+    """Run one merge/keyed case; returns the failure detail or None."""
+    if impl.max_elements is not None and case.total > impl.max_elements:
+        return None
+    try:
+        out = impl.fn(case.a, case.b, case.p)
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        return f"raised {exc!r}"
+    if impl.kind == "keyed":
+        return compare_keyed(out, case.a, case.b)
+    if impl.kind == "setop":
+        return compare_setop(out, case.a, case.b, impl.name.rsplit(".", 1)[-1])
+    stable = impl.stable and case.stability_probe
+    return compare_merge(out, case.a, case.b, stable=stable)
+
+
+def run_sort_case(impl: Implementation, case: SortCase) -> str | None:
+    if impl.max_elements is not None and len(case.x) > impl.max_elements:
+        return None
+    try:
+        out = impl.fn(case.x, case.p)
+    except Exception as exc:  # noqa: BLE001
+        return f"raised {exc!r}"
+    return compare_sort(out, case.x)
+
+
+def run_kway_case(impl: Implementation, case: KwayCase) -> str | None:
+    if impl.max_elements is not None and case.total > impl.max_elements:
+        return None
+    try:
+        out = impl.fn(case.arrays, case.p)
+    except Exception as exc:  # noqa: BLE001
+        return f"raised {exc!r}"
+    return compare_kway(out, case.arrays)
+
+
+# ----------------------------------------------------------------------
+# Minimization
+# ----------------------------------------------------------------------
+def _array_literal(x: np.ndarray) -> str:
+    return f"np.array({x.tolist()!r}, dtype=np.{x.dtype.name})"
+
+
+def _shrink_array(x: np.ndarray) -> list[np.ndarray]:
+    """Candidate reductions of one array, large deletions first."""
+    out: list[np.ndarray] = []
+    n = len(x)
+    if n == 0:
+        return out
+    half = n // 2
+    if half:
+        out.append(x[half:])  # drop first half
+        out.append(x[:n - half])  # drop second half
+    for k in range(min(n, 24)):
+        out.append(np.delete(x, k))
+    return out
+
+
+def minimize_merge_case(
+    impl: Implementation, case: MergeCase, *, budget: int = SHRINK_BUDGET
+) -> MergeCase:
+    """Greedy ddmin-style shrink of a failing merge case.
+
+    Each step tries, in order: deleting a block or single element of A,
+    the same for B, then lowering ``p``.  Any candidate that still
+    fails becomes the new case; the loop ends at a local minimum or
+    when the re-run budget is exhausted.  Deterministic throughout.
+    """
+    attempts = 0
+
+    def fails(a: np.ndarray, b: np.ndarray, p: int) -> bool:
+        nonlocal attempts
+        attempts += 1
+        probe = MergeCase(case.name, a, b, p, case.stability_probe)
+        return run_merge_case(impl, probe) is not None
+
+    a, b, p = case.a, case.b, case.p
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        for na in _shrink_array(a):
+            if attempts >= budget:
+                break
+            if fails(na, b, p):
+                a, improved = na, True
+                break
+        if improved:
+            continue
+        for nb in _shrink_array(b):
+            if attempts >= budget:
+                break
+            if fails(a, nb, p):
+                b, improved = nb, True
+                break
+        if improved:
+            continue
+        for np_ in (1, 2, p // 2):
+            if attempts >= budget:
+                break
+            if 0 < np_ < p and fails(a, b, np_):
+                p, improved = np_, True
+                break
+    return MergeCase(case.name, a, b, p, case.stability_probe)
+
+
+def minimize_sort_case(
+    impl: Implementation, case: SortCase, *, budget: int = SHRINK_BUDGET
+) -> SortCase:
+    """Greedy shrink of a failing sort case (same strategy as merges)."""
+    attempts = 0
+
+    def fails(x: np.ndarray, p: int) -> bool:
+        nonlocal attempts
+        attempts += 1
+        return run_sort_case(impl, SortCase(case.name, x, p)) is not None
+
+    x, p = case.x, case.p
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        for nx in _shrink_array(x):
+            if attempts >= budget:
+                break
+            if fails(nx, p):
+                x, improved = nx, True
+                break
+        if improved:
+            continue
+        for np_ in (1, 2, p // 2):
+            if attempts >= budget:
+                break
+            if 0 < np_ < p and fails(x, np_):
+                p, improved = np_, True
+                break
+    return SortCase(case.name, x, p)
+
+
+def merge_reproducer(impl: Implementation, case: MergeCase, seed: int) -> str:
+    """Self-contained snippet that replays a minimized merge mismatch."""
+    if impl.kind == "keyed":
+        comparator = "compare_keyed"
+        check = "compare_keyed(out, a, b)"
+    elif impl.kind == "setop":
+        comparator = "compare_setop"
+        check = f"compare_setop(out, a, b, {impl.name.rsplit('.', 1)[-1]!r})"
+    else:
+        comparator = "compare_merge"
+        check = (
+            f"compare_merge(out, a, b, "
+            f"stable={impl.stable and case.stability_probe})"
+        )
+    return "\n".join(
+        [
+            "import numpy as np",
+            "from repro.conformance.registry import build_registry",
+            f"from repro.conformance.fuzzer import {comparator}",
+            f"# case {case.name!r} (workload seed {seed}), minimized",
+            f"a = {_array_literal(case.a)}",
+            f"b = {_array_literal(case.b)}",
+            f"impl = build_registry('full')[{impl.name!r}]",
+            f"out = impl.fn(a, b, {case.p})",
+            f"print({check})  # None would mean: no longer failing",
+        ]
+    )
+
+
+def sort_reproducer(impl: Implementation, case: SortCase, seed: int) -> str:
+    """Self-contained snippet that replays a minimized sort mismatch."""
+    return "\n".join(
+        [
+            "import numpy as np",
+            "from repro.conformance.registry import build_registry",
+            "from repro.conformance.fuzzer import compare_sort",
+            f"# case {case.name!r} (workload seed {seed}), minimized",
+            f"x = {_array_literal(case.x)}",
+            f"impl = build_registry('full')[{impl.name!r}]",
+            f"out = impl.fn(x, {case.p})",
+            "print(compare_sort(out, x))  # None would mean: no longer failing",
+        ]
+    )

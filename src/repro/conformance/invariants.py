@@ -1,0 +1,170 @@
+"""Machine-checks for the paper's structural invariants.
+
+All checkers return ``None`` on success and a human-readable failure
+description on violation, so the runner can aggregate them uniformly
+without exception plumbing.
+
+* :func:`check_partition_balance` — Theorem 14 / Corollary 7: the ``p``
+  segments have sizes differing by at most one, tile the output
+  exactly, and their independent merges concatenate to the oracle.
+* :func:`check_flip_point_uniqueness` — Proposition 13: on every cross
+  diagonal there is exactly one point satisfying the flip conditions,
+  and it is the one the binary search returns.  Brute force over the
+  feasible range, so only run on small inputs.
+* :func:`check_slice_disjointness` — the lock-freedom precondition: the
+  partition's output ranges are disjoint, contiguous and cover
+  ``[0, N)``; likewise the A- and B-ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.merge_path import diagonal_bounds, diagonal_intersection, partition_merge_path
+from ..core.sequential import merge_vectorized
+from ..types import Partition
+
+__all__ = [
+    "check_partition_balance",
+    "check_flip_point_uniqueness",
+    "check_slice_disjointness",
+    "check_kway_balance",
+    "stable_merge_oracle",
+]
+
+
+def stable_merge_oracle(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ground-truth stable merge: stable sort of ``A ++ B``.
+
+    Concatenating A first and sorting with a stable algorithm realises
+    exactly the A-before-equal-B order, including the relative order of
+    signed zeros used by the stability probes.
+    """
+    dtype = np.promote_types(a.dtype, b.dtype) if len(a) or len(b) else np.int64
+    merged = np.concatenate([a, b]).astype(dtype, copy=False)
+    return np.sort(merged, kind="stable")
+
+
+def check_partition_balance(a: np.ndarray, b: np.ndarray, p: int) -> str | None:
+    """Theorem 14: p equispaced diagonals give equal independent segments."""
+    part = partition_merge_path(a, b, p, check=False)
+    if len(part.segments) != p:
+        return f"expected {p} segments, got {len(part.segments)}"
+    try:
+        part.validate()
+    except AssertionError as exc:
+        return f"partition does not tile the merge path: {exc}"
+    lengths = part.segment_lengths
+    if max(lengths) - min(lengths) > 1:
+        return (
+            f"segment sizes {lengths} differ by "
+            f"{max(lengths) - min(lengths)} > 1 (Theorem 14 violated)"
+        )
+    n = len(a) + len(b)
+    lo, hi = n // p, -(-n // p)
+    bad = [s for s in lengths if not lo <= s <= hi]
+    if bad:
+        return f"segment sizes {lengths} outside {{floor,ceil}}(N/p) = {{{lo},{hi}}}"
+    pieces = [
+        merge_vectorized(a[s.a_start : s.a_end], b[s.b_start : s.b_end], check=False)
+        for s in part.segments
+    ]
+    got = np.concatenate(pieces) if pieces else np.array([])
+    ref = stable_merge_oracle(a, b)
+    if not np.array_equal(got, ref):
+        return "independent segment merges do not concatenate to the oracle merge"
+    return None
+
+
+def check_flip_point_uniqueness(a: np.ndarray, b: np.ndarray) -> str | None:
+    """Proposition 13: each cross diagonal has exactly one flip point.
+
+    A feasible point ``(i, d - i)`` is a flip point when
+    ``A[i - 1] <= B[d - i]`` (or ``i`` is at its lower bound) and
+    ``A[i] > B[d - i - 1]`` (or ``i`` is at its upper bound).  O(N^2)
+    brute force — callers keep ``|A| + |B|`` small.
+    """
+    n = len(a) + len(b)
+    for d in range(n + 1):
+        lo, hi = diagonal_bounds(d, len(a), len(b))
+        flips = [
+            i
+            for i in range(lo, hi + 1)
+            if (i == lo or a[i - 1] <= b[d - i])
+            and (i == hi or a[i] > b[d - i - 1])
+        ]
+        if len(flips) != 1:
+            return (
+                f"diagonal {d} has {len(flips)} flip points {flips}; "
+                "Proposition 13 requires exactly one"
+            )
+        found = diagonal_intersection(a, b, d)
+        if found.i != flips[0]:
+            return (
+                f"binary search returned i={found.i} on diagonal {d}, "
+                f"but the unique flip point is i={flips[0]}"
+            )
+    return None
+
+
+def check_kway_balance(arrays: tuple[np.ndarray, ...], p: int) -> str | None:
+    """k-way analogue of Theorem 14: output ranges differ by at most 1.
+
+    Also checks the per-array cut columns are monotone (each processor
+    owns a contiguous slab of every input — the disjointness
+    precondition of the k-way merge tasks).
+    """
+    from ..core.kway import kway_partition
+
+    if not arrays:
+        return None
+    cuts = kway_partition(list(arrays), p, check=False)
+    sizes = [
+        sum(cuts[k + 1]) - sum(cuts[k]) for k in range(p)
+    ]
+    total = sum(len(arr) for arr in arrays)
+    lo, hi = total // p, -(-total // p)
+    bad = [s for s in sizes if not lo <= s <= hi]
+    if bad:
+        return (
+            f"k-way output range sizes {sizes} outside "
+            f"{{floor,ceil}}(N/p) = {{{lo},{hi}}}"
+        )
+    for t in range(len(arrays)):
+        col = [row[t] for row in cuts]
+        if any(x > y for x, y in zip(col, col[1:])):
+            return f"cut column for array {t} is not monotone: {col}"
+    return None
+
+
+def check_slice_disjointness(partition: Partition) -> str | None:
+    """Output (and input) ranges must tile without overlap — the reason
+    Algorithm 1 needs no locks."""
+    out_cursor = 0
+    a_cursor = 0
+    b_cursor = 0
+    for seg in partition.segments:
+        if seg.out_start < out_cursor:
+            return (
+                f"segment {seg.index} output [{seg.out_start}, {seg.out_end}) "
+                f"overlaps the previous segment (ends at {out_cursor})"
+            )
+        if seg.out_start != out_cursor:
+            return (
+                f"gap before segment {seg.index}: output resumes at "
+                f"{seg.out_start}, previous ended at {out_cursor}"
+            )
+        if seg.a_start != a_cursor or seg.b_start != b_cursor:
+            return (
+                f"segment {seg.index} input ranges are not contiguous with "
+                f"the previous segment"
+            )
+        out_cursor = seg.out_end
+        a_cursor = seg.a_end
+        b_cursor = seg.b_end
+    if out_cursor != partition.total_length:
+        return (
+            f"segments cover [0, {out_cursor}) but the output has "
+            f"{partition.total_length} elements"
+        )
+    return None

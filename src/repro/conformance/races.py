@@ -1,0 +1,206 @@
+"""Backend race detection via per-slice write-set tracking.
+
+The paper's lock-freedom argument (Remark after Algorithm 1) is that
+processors write *disjoint* output slices, so no synchronization is
+needed.  The PRAM simulator proves this per cycle for the lockstep
+model; this module proves it for the **real threads backend**: the
+output array is replaced by an ndarray subclass that records every
+write — which flat addresses, by which task — and an audit afterwards
+flags
+
+* any address written more than once (a write-write race),
+* any write outside the writing task's declared output slice
+  (a claim violation — the write would race with the slice's owner),
+* any address never written (a coverage hole: the barrier would return
+  an uninitialized region).
+
+The tracking array piggybacks on the *actual* production kernels
+(:func:`repro.core.sequential.merge_into`) and the *actual* thread
+pool, so what is audited is the code that runs in production, not a
+model of it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends import get_backend
+from ..core.merge_path import partition_merge_path
+from ..core.sequential import merge_into, result_dtype
+from ..types import Partition
+from .invariants import stable_merge_oracle
+
+__all__ = [
+    "RaceFinding",
+    "WriteAudit",
+    "WriteTrackingArray",
+    "audited_parallel_merge",
+]
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected violation of the disjoint-writes contract."""
+
+    kind: str  # "double-write" | "out-of-slice" | "uncovered" | "wrong-result"
+    detail: str
+
+
+class WriteAudit:
+    """Thread-safe recorder of (task, flat address range) write events."""
+
+    def __init__(self, base_addr: int, itemsize: int, length: int) -> None:
+        self.base_addr = base_addr
+        self.itemsize = itemsize
+        self.length = length
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: list of (task_id, flat int64 index array) in commit order
+        self.events: list[tuple[int, np.ndarray]] = []
+
+    def set_task(self, task_id: int | None) -> None:
+        """Tag subsequent writes from this thread with ``task_id``."""
+        self._local.task = task_id
+
+    def current_task(self) -> int:
+        return getattr(self._local, "task", -1)
+
+    def record(self, view: np.ndarray, key: object) -> None:
+        """Record a ``view[key] = ...`` write in base-array coordinates."""
+        offset = (view.__array_interface__["data"][0] - self.base_addr) // self.itemsize
+        idx = np.atleast_1d(np.arange(view.shape[0], dtype=np.int64)[key])
+        event = (self.current_task(), idx + offset)
+        with self._lock:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Post-run analysis
+    # ------------------------------------------------------------------
+    def findings(self, partition: Partition | None = None) -> list[RaceFinding]:
+        """Audit the recorded write events against the disjointness contract."""
+        out: list[RaceFinding] = []
+        counts = np.zeros(self.length, dtype=np.int64)
+        for task_id, idx in self.events:
+            counts[idx] += 1
+            if partition is not None and 0 <= task_id < len(partition.segments):
+                seg = partition.segments[task_id]
+                stray = idx[(idx < seg.out_start) | (idx >= seg.out_end)]
+                if stray.size:
+                    out.append(
+                        RaceFinding(
+                            "out-of-slice",
+                            f"task {task_id} wrote address {int(stray[0])} "
+                            f"outside its slice [{seg.out_start}, {seg.out_end})",
+                        )
+                    )
+        doubled = np.nonzero(counts > 1)[0]
+        if doubled.size:
+            writers = sorted(
+                task_id
+                for task_id, idx in self.events
+                if int(doubled[0]) in set(int(i) for i in idx)
+            )
+            out.append(
+                RaceFinding(
+                    "double-write",
+                    f"address {int(doubled[0])} written {int(counts[doubled[0]])} "
+                    f"times (tasks {writers}); {doubled.size} address(es) affected",
+                )
+            )
+        holes = np.nonzero(counts == 0)[0]
+        if holes.size:
+            out.append(
+                RaceFinding(
+                    "uncovered",
+                    f"{holes.size} address(es) never written, first at "
+                    f"{int(holes[0])}",
+                )
+            )
+        return out
+
+
+class WriteTrackingArray(np.ndarray):
+    """ndarray subclass that reports every ``__setitem__`` to a WriteAudit.
+
+    Slicing preserves the subclass, so the views handed to worker tasks
+    keep reporting; addresses are reconstructed from the view's buffer
+    pointer, which is exact for the contiguous 1-D slices Algorithm 1
+    produces.
+    """
+
+    _audit: WriteAudit | None
+
+    def __array_finalize__(self, obj: object) -> None:
+        self._audit = getattr(obj, "_audit", None)
+
+    def __setitem__(self, key: object, value: object) -> None:
+        audit = getattr(self, "_audit", None)
+        if audit is not None:
+            audit.record(self, key)
+        super().__setitem__(key, value)
+
+
+def audited_parallel_merge(
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int,
+    *,
+    backend: str = "threads",
+    kernel: str = "vectorized",
+    partition: Partition | None = None,
+) -> list[RaceFinding]:
+    """Run Algorithm 1 on the real ``backend`` with write tracking.
+
+    Mirrors :func:`repro.core.parallel_merge.merge_partition` task for
+    task — same partitioner, same ``merge_into`` kernel, same thread
+    pool — but the output array records its writers.  Passing an
+    explicit ``partition`` lets tests inject a *corrupted* partition
+    (overlapping slices) and verify the detector fires.
+
+    Returns the list of findings (empty == race-free and correct).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    part = partition if partition is not None else partition_merge_path(a, b, p)
+    n = len(a) + len(b)
+    base = np.empty(n, dtype=result_dtype(a, b))
+    audit = WriteAudit(
+        base_addr=base.__array_interface__["data"][0],
+        itemsize=base.itemsize,
+        length=n,
+    )
+    out = base.view(WriteTrackingArray)
+    out._audit = audit
+
+    def make_task(seg):
+        def task() -> None:
+            audit.set_task(seg.index)
+            try:
+                merge_into(
+                    out[seg.out_start : seg.out_end],
+                    a[seg.a_start : seg.a_end],
+                    b[seg.b_start : seg.b_end],
+                    kernel=kernel,
+                )
+            finally:
+                audit.set_task(None)
+
+        return task
+
+    tasks = [make_task(seg) for seg in part.segments if seg.length > 0]
+    be = get_backend(backend, max_workers=max(1, p))
+    try:
+        be.run_tasks(tasks)
+    finally:
+        be.close()
+
+    findings = audit.findings(part)
+    ref = stable_merge_oracle(a, b)
+    if not np.array_equal(base, ref):
+        findings.append(
+            RaceFinding("wrong-result", "merged output differs from the oracle")
+        )
+    return findings

@@ -60,9 +60,9 @@ def _symmerge(arr: np.ndarray, a: int, m: int, b: int) -> None:
     if m - a == 0 or b - m == 0:
         return
     if m - a == 1:
-        # Insert arr[a] into arr[m:b]: it belongs before the first
-        # element strictly greater (stability: after equals).
-        j = m + int(np.searchsorted(arr[m:b], arr[a], side="right"))
+        # Insert arr[a] into arr[m:b]: before the first element >= it
+        # (stability: the left-run element precedes equal right-run ones).
+        j = m + int(np.searchsorted(arr[m:b], arr[a], side="left"))
         rotate(arr, a, m, j)
         return
     if b - m == 1:

@@ -1,0 +1,119 @@
+"""Edge-case pinning for k-way and segmented merging (+ regression
+tests for the two bugs the conformance fuzzer found on its first run).
+
+Covers the boundary grid the differential fuzzer generates — empty A
+or B, ``p`` far beyond ``|A| + |B|``, and all-equal inputs — as plain
+pytest cases so a failure names the exact entry point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.akl_santoro import akl_santoro_merge, akl_santoro_partition
+from repro.conformance.invariants import stable_merge_oracle
+from repro.core.inplace import merge_inplace, merge_inplace_parallel
+from repro.core.kway import kway_merge, kway_partition
+from repro.core.segmented_merge import segmented_parallel_merge
+
+pytestmark = pytest.mark.conformance
+
+EMPTY = np.array([], dtype=np.int64)
+
+
+def _ref(*arrays):
+    present = [np.asarray(x) for x in arrays if len(x)]
+    if not present:
+        return np.array([])
+    return np.sort(np.concatenate(present), kind="stable")
+
+
+class TestKwayEdges:
+    @pytest.mark.parametrize("p", [1, 3, 9])
+    def test_all_empty_inputs(self, p):
+        out = kway_merge([EMPTY, EMPTY, EMPTY], p)
+        assert len(out) == 0
+
+    @pytest.mark.parametrize("p", [1, 2, 16])
+    def test_some_empty_inputs(self, p):
+        arrays = [EMPTY, np.arange(5, dtype=np.int64), EMPTY]
+        np.testing.assert_array_equal(kway_merge(arrays, p), _ref(*arrays))
+
+    def test_p_much_greater_than_total(self):
+        arrays = [np.array([1, 3], dtype=np.int64), np.array([2], dtype=np.int64)]
+        np.testing.assert_array_equal(kway_merge(arrays, 64), _ref(*arrays))
+
+    def test_all_equal_elements(self):
+        arrays = [np.full(7, 5, dtype=np.int64) for _ in range(4)]
+        np.testing.assert_array_equal(kway_merge(arrays, 5), _ref(*arrays))
+
+    @pytest.mark.parametrize("p", [1, 4, 11])
+    def test_partition_cuts_monotone_under_heavy_ties(self, p):
+        arrays = [np.zeros(6, dtype=np.int64), np.zeros(9, dtype=np.int64)]
+        cuts = kway_partition(arrays, p, check=False)
+        for t in range(len(arrays)):
+            col = [row[t] for row in cuts]
+            assert col == sorted(col)
+        assert list(cuts[-1]) == [len(x) for x in arrays]
+
+
+class TestSegmentedEdges:
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_empty_a(self, p):
+        b = np.arange(12, dtype=np.int64)
+        np.testing.assert_array_equal(
+            segmented_parallel_merge(EMPTY, b, p, L=4), _ref(b)
+        )
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_empty_b(self, p):
+        a = np.arange(12, dtype=np.int64)
+        np.testing.assert_array_equal(
+            segmented_parallel_merge(a, EMPTY, p, L=4), _ref(a)
+        )
+
+    def test_both_empty(self):
+        out = segmented_parallel_merge(EMPTY, EMPTY, 3, L=4)
+        assert len(out) == 0
+
+    def test_p_much_greater_than_n(self):
+        a = np.array([1, 4], dtype=np.int64)
+        b = np.array([2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            segmented_parallel_merge(a, b, 50, L=4), _ref(a, b)
+        )
+
+    def test_all_equal(self):
+        a = np.full(10, 2, dtype=np.int64)
+        b = np.full(13, 2, dtype=np.int64)
+        np.testing.assert_array_equal(
+            segmented_parallel_merge(a, b, 4, L=8), _ref(a, b)
+        )
+
+
+class TestFuzzerFoundRegressions:
+    """Bugs found by the conformance battery's first-ever run, pinned."""
+
+    def test_akl_santoro_empty_both(self):
+        # Used to raise IndexError: the n == 0 boundary collapses all
+        # cut ranks to one point, leaving zero segments to re-pad from.
+        out = akl_santoro_merge(EMPTY, EMPTY, 4)
+        assert len(out) == 0
+        part = akl_santoro_partition(EMPTY, EMPTY, 4)
+        assert len(part.segments) == 4
+
+    def test_symmerge_single_element_insert_is_stable(self):
+        # The m - a == 1 branch inserted A's element *after* equal
+        # B elements (side="right"); the signed-zero probe caught it.
+        arr = np.array([-0.0, 0.0])
+        merge_inplace(arr, 1)
+        assert np.signbit(arr[0]) and not np.signbit(arr[1])
+
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_inplace_parallel_stability_probe(self, p):
+        a = np.array([-1.0, -0.0, -0.0, -0.0])
+        b = np.array([0.0, 0.0, 1.0, 2.0])
+        arr = np.concatenate([a, b])
+        merge_inplace_parallel(arr, len(a), p)
+        ref = stable_merge_oracle(a, b)
+        np.testing.assert_array_equal(arr, ref)
+        np.testing.assert_array_equal(np.signbit(arr), np.signbit(ref))

@@ -1,0 +1,137 @@
+"""Mutation tests: the fuzzer must catch deliberately broken merges.
+
+Each test injects a registry containing one known-bad implementation
+and asserts the battery (a) fails, (b) attributes the failure to the
+right check, and (c) ships a *small* minimized reproducer.  This is the
+proof that a green conformance run means something.
+"""
+
+import numpy as np
+import pytest
+
+import repro.conformance.runner as runner_module
+from repro.__main__ import main as cli_main
+from repro.conformance import run_conformance
+from repro.conformance.invariants import stable_merge_oracle
+from repro.conformance.registry import Implementation
+
+pytestmark = pytest.mark.conformance
+
+
+def _registry(impl):
+    return {impl.name: impl}
+
+
+def _drop_last(a, b, p):
+    return stable_merge_oracle(a, b)[:-1]
+
+
+def _tie_swap(a, b, p):
+    # Values identical to the oracle, but B's ties land before A's —
+    # invisible to a value-only comparison, caught by the signed-zero probe.
+    return np.sort(np.concatenate([b, a]), kind="stable")
+
+
+def _off_by_one(a, b, p):
+    out = stable_merge_oracle(a, b).copy()
+    if len(out):
+        out[-1] = out[-1] + 1
+    return out
+
+
+def test_dropped_element_is_caught_and_minimized():
+    impl = Implementation("mutant.drop_last", "core", "merge", _drop_last)
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    diff = report.reports[0].check("differential")
+    assert diff.status == "fail"
+    assert diff.mismatch is not None
+    a = diff.mismatch.inputs["a"]
+    b = diff.mismatch.inputs["b"]
+    # A single surviving element is enough to reproduce a dropped write.
+    assert len(a) + len(b) <= 2, (a, b)
+    assert "reproducer" not in diff.mismatch.reproducer  # it IS the snippet
+    assert "build_registry" in diff.mismatch.reproducer
+
+
+def test_wrong_value_is_caught():
+    impl = Implementation("mutant.off_by_one", "core", "merge", _off_by_one)
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    diff = report.reports[0].check("differential")
+    assert diff.status == "fail"
+    assert "divergence" in diff.detail or "differ" in diff.detail
+
+
+def test_tie_order_swap_is_caught_by_stability_probe():
+    impl = Implementation("mutant.tie_swap", "core", "merge", _tie_swap)
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    stab = report.reports[0].check("stability")
+    assert stab.status == "fail"
+    assert "stability" in stab.detail
+
+
+def test_unstable_keyed_permutation_is_caught():
+    impl = Implementation(
+        "mutant.keyed_reversed", "extension", "keyed",
+        lambda a, b, p: np.argsort(np.concatenate([a, b]), kind="stable")[::-1],
+    )
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    assert report.reports[0].check("differential").status == "fail"
+
+
+def test_broken_setop_is_caught():
+    # A "union" that keeps ca + cb copies instead of max(ca, cb):
+    # indistinguishable on duplicate-free inputs, caught on the
+    # heavy-duplicate grid.
+    impl = Implementation(
+        "mutant.setops.union", "extension", "setop",
+        lambda a, b, p: np.sort(np.concatenate([a, b]), kind="stable"),
+        stable=False,
+    )
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    assert report.reports[0].check("differential").status == "fail"
+
+
+def test_crashing_implementation_is_reported_not_raised():
+    def boom(a, b, p):
+        raise RuntimeError("kernel exploded")
+
+    impl = Implementation("mutant.crasher", "core", "merge", boom)
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    diff = report.reports[0].check("differential")
+    assert diff.status == "fail"
+    assert "RuntimeError" in diff.detail
+
+
+def test_correct_impl_marked_unsound_fails_the_teeth_check():
+    impl = Implementation(
+        "mutant.secretly_fine", "baseline", "merge",
+        lambda a, b, p: stable_merge_oracle(a, b),
+        known_unsound=True,
+    )
+    report = run_conformance("quick", registry=_registry(impl))
+    assert not report.ok
+    assert "teeth" in report.reports[0].check("differential").detail
+
+
+def test_cli_exits_nonzero_on_mutant(monkeypatch, capsys):
+    impl = Implementation("mutant.drop_last", "core", "merge", _drop_last)
+    monkeypatch.setattr(
+        runner_module, "build_registry", lambda tier, backends=None: _registry(impl)
+    )
+    rc = cli_main(["conformance", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL" in out
+    assert "minimized reproducer" in out
+
+
+def test_cli_exits_zero_on_real_registry(capsys):
+    rc = cli_main(["conformance", "--quick"])
+    assert rc == 0
+    assert "all checks passed" in capsys.readouterr().out

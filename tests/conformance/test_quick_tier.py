@@ -1,0 +1,84 @@
+"""The quick conformance tier, wired into pytest.
+
+One deterministic run (fixed ``DEFAULT_SEED``) shared by every
+assertion in this module; the acceptance bar is that the battery
+exercises at least ten distinct implementations and checks stability,
+Theorem 14 balance, and slice disjointness on each.
+"""
+
+import pytest
+
+from repro.conformance import DEFAULT_SEED, render_report, run_conformance
+
+pytestmark = pytest.mark.conformance
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_conformance("quick", seed=DEFAULT_SEED)
+
+
+def test_quick_tier_passes(report):
+    assert report.ok, render_report(report)
+
+
+def test_exercises_at_least_ten_implementations(report):
+    exercised = [
+        r.impl.name
+        for r in report.reports
+        if r.check("differential").cases >= 1
+    ]
+    assert len(set(exercised)) >= 10, exercised
+
+
+def test_every_implementation_gets_all_five_checks(report):
+    for r in report.reports:
+        names = {c.name for c in r.checks}
+        assert names == {
+            "differential", "stability", "balance", "disjoint", "races"
+        }, f"{r.impl.name} ran {sorted(names)}"
+
+
+def test_balance_and_disjointness_checked_on_real_cases(report):
+    for r in report.reports:
+        assert r.check("balance").cases >= 1, r.impl.name
+        assert r.check("disjoint").cases >= 1, r.impl.name
+
+
+def test_all_layers_represented(report):
+    layers = {r.impl.layer for r in report.reports}
+    assert {"core", "backend", "baseline", "gpu", "pram", "extension"} <= layers
+
+
+def test_known_unsound_counterexample_fails_as_expected(report):
+    naive = next(
+        r for r in report.reports if r.impl.name == "baseline.naive_split"
+    )
+    diff = naive.check("differential")
+    assert diff.status == "expected-fail"
+    assert naive.ok  # an expected failure does not fail the run
+
+
+def test_race_audit_ran_on_threaded_backends(report):
+    audited = [
+        r.impl.name
+        for r in report.reports
+        if r.check("races").status == "pass" and r.check("races").cases >= 1
+    ]
+    assert "backend.parallel_merge.threads" in audited
+    assert "backend.segmented_merge.threads" in audited
+
+
+def test_run_is_deterministic(report):
+    again = run_conformance("quick", seed=DEFAULT_SEED)
+    assert again.ok == report.ok
+    assert again.implementations == report.implementations
+    assert [
+        (c.name, c.status, c.cases) for r in again.reports for c in r.checks
+    ] == [(c.name, c.status, c.cases) for r in report.reports for c in r.checks]
+
+
+def test_render_report_mentions_every_implementation(report):
+    text = render_report(report)
+    for r in report.reports:
+        assert r.impl.name in text
