@@ -21,6 +21,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.machine` — hardware specs and the analytic timing model.
 * :mod:`repro.backends` — serial / thread / process / simulated
   executors.
+* :mod:`repro.resilience` — fault injection, per-task retry/timeout,
+  straggler speculation, graceful backend degradation.
 * :mod:`repro.baselines` — related-work algorithms (Section V).
 * :mod:`repro.workloads` — seeded generators and adversarial inputs.
 * :mod:`repro.analysis` — speedup laws, complexity fits, tables.
@@ -36,6 +38,9 @@ from .errors import (
     SimulationError,
     MemoryConflictError,
     BackendError,
+    BackendUnavailableError,
+    BatchError,
+    TaskFailure,
 )
 from .types import Partition, Segment, PathPoint, MergeStats, ExperimentResult
 from .core import (
@@ -64,6 +69,17 @@ from .core import (
 )
 from .verify import verify_merged, verify_partition, verify_sorted
 from .backends import get_backend, available_backends
+from .resilience import (
+    RetryPolicy,
+    ResilientBackend,
+    ExecutionTelemetry,
+    FaultInjector,
+    FaultyBackend,
+    DegradingBackend,
+    DegradationWarning,
+    resolve_backend,
+    probe_backend,
+)
 
 __all__ = [
     "__version__",
@@ -75,6 +91,9 @@ __all__ = [
     "SimulationError",
     "MemoryConflictError",
     "BackendError",
+    "BackendUnavailableError",
+    "BatchError",
+    "TaskFailure",
     "Partition",
     "Segment",
     "PathPoint",
@@ -107,4 +126,13 @@ __all__ = [
     "verify_sorted",
     "get_backend",
     "available_backends",
+    "RetryPolicy",
+    "ResilientBackend",
+    "ExecutionTelemetry",
+    "FaultInjector",
+    "FaultyBackend",
+    "DegradingBackend",
+    "DegradationWarning",
+    "resolve_backend",
+    "probe_backend",
 ]

@@ -39,7 +39,8 @@ def main(argv: list[str] | None = None) -> int:
     quick = "--quick" in args
     full = "--full" in args
     chart = "--chart" in args
-    args = [a for a in args if a not in ("--quick", "--full", "--chart")]
+    chaos = "--chaos" in args
+    args = [a for a in args if a not in ("--quick", "--full", "--chart", "--chaos")]
 
     if not args:
         print("usage: python -m repro [--quick] [--chart] EXP_ID [EXP_ID ...]"
@@ -51,14 +52,15 @@ def main(argv: list[str] | None = None) -> int:
         print("  selftest     verify every implementation on an input grid")
         print("  scorecard    evaluate all 14 paper claims as PASS/FAIL")
         print("  conformance  differential-fuzz every implementation against")
-        print("               the oracle (--quick | --full tiers)")
+        print("               the oracle (--quick | --full tiers; --chaos adds")
+        print("               fault injection through the resilience layer)")
         print("  api          print the public-API index")
         return 0
 
     if args == ["conformance"]:
         from .conformance import render_report, run_conformance
 
-        report = run_conformance("full" if full else "quick")
+        report = run_conformance("full" if full else "quick", chaos=chaos)
         print(render_report(report))
         return 0 if report.ok else 1
 

@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..errors import BackendError, InputError
+from ..errors import BackendError, BackendUnavailableError, InputError, TaskFailure
 
 __all__ = ["Backend", "TaskResult", "get_backend", "available_backends", "register_backend"]
 
@@ -48,9 +48,23 @@ class Backend(abc.ABC):
         """Execute every task and block until all complete (the barrier).
 
         Results are returned in task order regardless of completion
-        order.  A task exception aborts the batch and is re-raised
-        wrapped in :class:`~repro.errors.BackendError`.
+        order.  Contract for failures: the backend attempts **every**
+        task of the batch — a task exception never aborts the remaining
+        tasks — and then raises a single
+        :class:`~repro.errors.BatchError` collecting one
+        :class:`~repro.errors.TaskFailure` per failed task (index, kind,
+        message, underlying exception).  This gives callers the full
+        damage report and, because merge-path tasks are idempotent and
+        write disjoint output slices (Theorem 14), lets a supervisor
+        such as :class:`repro.resilience.ResilientBackend` re-execute
+        exactly the failed indices.
         """
+
+    # Optional hook: backends (and resilience wrappers) that can run the
+    # zero-copy shared-memory merge path implement
+    # ``merge_partition(a, b, partition) -> ndarray | None``; returning
+    # None means "no fast path here, use the generic task route".
+    # :func:`repro.core.parallel_merge.merge_partition` probes for it.
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         """Convenience: apply ``fn`` to each item as a task batch."""
@@ -65,6 +79,21 @@ class Backend(abc.ABC):
         except Exception as exc:  # noqa: BLE001 - uniformly wrapped
             raise BackendError(f"task {index} failed: {exc!r}") from exc
         return TaskResult(index=index, value=value, elapsed_s=time.perf_counter() - t0)
+
+    @staticmethod
+    def _attempt(
+        index: int, task: Callable[[], Any]
+    ) -> tuple[TaskResult | None, TaskFailure | None]:
+        """Run one task, classifying rather than raising its failure."""
+        t0 = time.perf_counter()
+        try:
+            value = task()
+        except Exception as exc:  # noqa: BLE001 - collected into BatchError
+            return None, TaskFailure(
+                index=index, kind="exception", message=repr(exc), error=exc
+            )
+        return TaskResult(index=index, value=value,
+                          elapsed_s=time.perf_counter() - t0), None
 
     def close(self) -> None:
         """Release pooled resources; default is a no-op."""
@@ -103,7 +132,15 @@ def get_backend(name: str, **kwargs: Any) -> Backend:
         raise InputError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
         ) from None
-    return factory(**kwargs)
+    try:
+        return factory(**kwargs)
+    except BackendUnavailableError:
+        raise
+    except ImportError as exc:
+        # A backend whose constructor imports an absent optional
+        # dependency surfaces as a structured unavailability, never as a
+        # bare ImportError the caller has to pattern-match.
+        raise BackendUnavailableError(name, missing=exc.name or str(exc)) from exc
 
 
 def _ensure_builtin() -> None:

@@ -25,7 +25,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import BackendError
+from ..errors import BackendUnavailableError, BatchError
 from ..types import Partition
 from .base import Backend, TaskResult
 
@@ -44,11 +44,13 @@ def mpi_available() -> bool:
 def _require_mpi():
     try:
         from mpi4py import MPI
-    except ImportError as exc:  # pragma: no cover - exercised via backend
-        raise BackendError(
-            "the MPI backend requires mpi4py, which is not installed; "
-            "install mpi4py and run under mpiexec, or use the "
-            "'threads'/'processes' backends"
+    except ImportError as exc:
+        raise BackendUnavailableError(
+            "mpi",
+            missing="mpi4py (not importable in this interpreter)",
+            hint="install mpi4py and run under mpiexec, or fall back "
+            "along the degradation chain (processes → threads → serial), "
+            "e.g. via repro.resilience.resolve_backend('mpi')",
         ) from exc
     return MPI
 
@@ -76,14 +78,27 @@ class MPIBackend(Backend):
         return self.comm.Get_size()
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
-        # Every rank executes its round-robin share; rank 0 gathers.
+        # Every rank executes its round-robin share; rank 0 gathers both
+        # the results and the failures so a batch reports all broken
+        # task indices, not just the first on the lowest rank.
         mine = [
             (i, task) for i, task in enumerate(tasks) if i % self.size == self.rank
         ]
-        local = [self._timed(i, task) for i, task in mine]
+        local = []
+        local_failures = []
+        for i, task in mine:
+            result, failure = self._attempt(i, task)
+            if failure is not None:
+                local_failures.append(failure)
+            else:
+                local.append(result)
         gathered = self.comm.gather(local, root=0)
+        gathered_failures = self.comm.gather(local_failures, root=0)
         if self.rank != 0:
             return []
+        failures = [f for chunk in gathered_failures for f in chunk]
+        if failures:
+            raise BatchError(failures, total=len(tasks))
         flat = [r for chunk in gathered for r in chunk]
         flat.sort(key=lambda r: r.index)
         return flat

@@ -9,36 +9,54 @@ writes its disjoint output slice in place.  No data is pickled per task
 — only segment coordinates travel over the pipe, mirroring the paper's
 observation that processors exchange nothing but partition indices.
 
-Two interfaces are provided:
+The pool is a ``concurrent.futures.ProcessPoolExecutor`` rather than a
+``multiprocessing.Pool`` deliberately: when a worker process dies
+(SIGKILL, OOM, segfault in an extension), ``Pool.map`` blocks forever on
+the lost result, whereas the executor's management thread detects the
+death and fails every in-flight future with ``BrokenProcessPool``.
+:meth:`ProcessBackend.run_tasks` converts that into a
+:class:`~repro.errors.BatchError` whose ``worker-death`` failures name
+the affected task indices, then discards the broken pool so the next
+batch (e.g. a retry by :class:`repro.resilience.ResilientBackend`) gets
+a fresh one.
+
+Three interfaces are provided:
 
 * :meth:`ProcessBackend.run_tasks` — the generic fork/join; tasks must
   be picklable (module-level functions / ``functools.partial``).
 * :func:`merge_partition_shared` — the zero-copy fast path used by
   :func:`repro.core.parallel_merge.parallel_merge` when this backend is
   selected.
+* :class:`SharedMergeArena` — the staging object behind the fast path,
+  exposed so resilience wrappers can re-dispatch individual segment
+  tasks (they are picklable and idempotent) without re-staging the
+  arrays.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing as mp
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import BackendError
+from ..errors import BatchError, TaskFailure
 from ..types import Partition
 from ..validation import check_positive
 from .base import Backend, TaskResult
 
-__all__ = ["ProcessBackend", "merge_partition_shared"]
+__all__ = ["ProcessBackend", "SharedMergeArena", "merge_partition_shared"]
 
 
-def _timed_call(payload: tuple[int, Callable[[], Any]]) -> tuple[int, Any, float]:
+def _timed_call(index: int, task: Callable[[], Any]) -> tuple[int, Any, float]:
     """Worker wrapper for the generic path (runs in the child)."""
     import time
 
-    index, task = payload
     t0 = time.perf_counter()
     value = task()
     return index, value, time.perf_counter() - t0
@@ -51,7 +69,9 @@ def _merge_segment_shm(
 
     Attaches to the three shared-memory blocks by name, views them as
     numpy arrays and merges ``A[a0:a1]`` with ``B[b0:b1]`` into
-    ``S[o0:o1]``.  Returns the segment index for bookkeeping.
+    ``S[o0:o1]``.  Returns the segment index for bookkeeping.  The call
+    is idempotent — same inputs, same disjoint output bytes — so a
+    supervisor may re-execute or even duplicate it freely (Theorem 14).
     """
     # Imported here so the module stays importable on platforms where
     # shared memory is restricted; the backend raises at construction.
@@ -77,7 +97,7 @@ def _merge_segment_shm(
 
 
 class ProcessBackend(Backend):
-    """Fork/join over a ``multiprocessing`` pool."""
+    """Fork/join over a ``ProcessPoolExecutor`` (fork context)."""
 
     name = "processes"
 
@@ -85,35 +105,145 @@ class ProcessBackend(Backend):
         if max_workers is not None:
             check_positive(max_workers, "max_workers")
         self._max_workers = max_workers or mp.cpu_count()
-        self._pool: mp.pool.Pool | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        # Pool creation/teardown is locked: resilience supervisors may
+        # dispatch single-task batches from several threads at once, and
+        # two of them must not race a broken-pool replacement.
+        self._lock = threading.Lock()
 
-    def _ensure_pool(self) -> mp.pool.Pool:
-        if self._pool is None:
-            self._pool = mp.get_context("fork").Pool(self._max_workers)
-        return self._pool
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=mp.get_context("fork"),
+                )
+            return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool so the next batch rebuilds a healthy one."""
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        tasks = list(tasks)
         pool = self._ensure_pool()
-        try:
-            raw = pool.map(_timed_call, list(enumerate(tasks)))
-        except Exception as exc:  # noqa: BLE001 - uniformly wrapped
-            raise BackendError(f"process task batch failed: {exc!r}") from exc
-        raw.sort(key=lambda r: r[0])
-        return [TaskResult(index=i, value=v, elapsed_s=t) for i, v, t in raw]
+        futures: dict[int, Any] = {}
+        failures: list[TaskFailure] = []
+        broken = False
+        for i, task in enumerate(tasks):
+            try:
+                futures[i] = pool.submit(_timed_call, i, task)
+            except (BrokenProcessPool, RuntimeError) as exc:
+                # The pool died while we were still submitting (a worker
+                # of an earlier future was killed); everything not yet
+                # submitted is a worker-death casualty too.
+                broken = True
+                failures.append(TaskFailure(
+                    index=i, kind="worker-death",
+                    message=f"pool broken before dispatch: {exc!r}", error=exc,
+                ))
+        results: list[TaskResult] = []
+        for i, fut in futures.items():
+            try:
+                idx, value, elapsed = fut.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                failures.append(TaskFailure(
+                    index=i, kind="worker-death",
+                    message="worker process died before returning a result "
+                    f"({exc!r})", error=exc,
+                ))
+            except Exception as exc:  # noqa: BLE001 - collected
+                failures.append(TaskFailure(
+                    index=i, kind="exception", message=repr(exc), error=exc,
+                ))
+            else:
+                results.append(TaskResult(index=idx, value=value, elapsed_s=elapsed))
+        if broken:
+            self._discard_pool(pool)
+        if failures:
+            raise BatchError(failures, total=len(tasks))
+        return results
 
     def merge_partition(
         self, a: np.ndarray, b: np.ndarray, partition: Partition
     ) -> np.ndarray:
         """Zero-copy parallel merge of a pre-computed partition."""
-        return merge_partition_shared(
-            a, b, partition, max_workers=self._max_workers, pool=self._ensure_pool()
-        )
+        return merge_partition_shared(a, b, partition, backend=self)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class SharedMergeArena:
+    """Shared-memory staging for one partitioned merge.
+
+    Copies ``a`` and ``b`` once into named shared-memory blocks
+    (analogous to the arrays already residing in RAM on the paper's
+    machine) and materializes one picklable, idempotent task per
+    non-empty segment.  ``result()`` copies the merged output back out;
+    ``close()`` releases the blocks.  Late writes from abandoned
+    speculative attempts are harmless: every task writes the same bytes
+    to its own disjoint slice.
+    """
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, partition: Partition) -> None:
+        dtype = np.promote_types(a.dtype, b.dtype)
+        self._dtype = dtype
+        self._total = len(a) + len(b)
+        itemsize = dtype.itemsize
+        self._shm_a = shared_memory.SharedMemory(
+            create=True, size=max(1, len(a) * itemsize))
+        self._shm_b = shared_memory.SharedMemory(
+            create=True, size=max(1, len(b) * itemsize))
+        self._shm_o = shared_memory.SharedMemory(
+            create=True, size=max(1, self._total * itemsize))
+        try:
+            np.ndarray((len(a),), dtype=dtype, buffer=self._shm_a.buf)[:] = a
+            np.ndarray((len(b),), dtype=dtype, buffer=self._shm_b.buf)[:] = b
+            self.jobs = [
+                (
+                    self._shm_a.name, self._shm_b.name, self._shm_o.name,
+                    dtype.str, len(a), len(b),
+                    s.a_start, s.a_end, s.b_start, s.b_end,
+                    s.out_start, s.out_end,
+                )
+                for s in partition.segments
+                if s.length > 0
+            ]
+        except BaseException:
+            self.close()
+            raise
+
+    def tasks(self) -> list[Callable[[], int]]:
+        """One picklable callable per non-empty segment."""
+        return [functools.partial(_merge_segment_shm, args) for args in self.jobs]
+
+    def result(self) -> np.ndarray:
+        """Copy the merged output out of shared memory."""
+        return np.ndarray(
+            (self._total,), dtype=self._dtype, buffer=self._shm_o.buf
+        ).copy()
+
+    def close(self) -> None:
+        for shm in (self._shm_a, self._shm_b, self._shm_o):
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "SharedMergeArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def merge_partition_shared(
@@ -122,48 +252,23 @@ def merge_partition_shared(
     partition: Partition,
     *,
     max_workers: int | None = None,
-    pool: mp.pool.Pool | None = None,
+    backend: Backend | None = None,
 ) -> np.ndarray:
     """Merge a partition with worker processes over shared memory.
 
-    Copies ``a`` and ``b`` once into shared-memory blocks (analogous to
-    the arrays already residing in RAM on the paper's machine), fans the
-    segments out, and copies the shared output back into a regular
+    Stages the arrays in a :class:`SharedMergeArena`, fans the segment
+    tasks out on ``backend`` (a temporary :class:`ProcessBackend` when
+    none is given), and copies the shared output back into a regular
     array before releasing the blocks.
     """
-    dtype = np.promote_types(a.dtype, b.dtype)
-    total = len(a) + len(b)
-    itemsize = dtype.itemsize
-    own_pool = pool is None
-
-    shm_a = shared_memory.SharedMemory(create=True, size=max(1, len(a) * itemsize))
-    shm_b = shared_memory.SharedMemory(create=True, size=max(1, len(b) * itemsize))
-    shm_o = shared_memory.SharedMemory(create=True, size=max(1, total * itemsize))
-    try:
-        np.ndarray((len(a),), dtype=dtype, buffer=shm_a.buf)[:] = a
-        np.ndarray((len(b),), dtype=dtype, buffer=shm_b.buf)[:] = b
-        jobs = [
-            (
-                shm_a.name, shm_b.name, shm_o.name, dtype.str,
-                len(a), len(b),
-                s.a_start, s.a_end, s.b_start, s.b_end, s.out_start, s.out_end,
-            )
-            for s in partition.segments
-            if s.length > 0
-        ]
-        if own_pool:
-            workers = max_workers or mp.cpu_count()
-            pool = mp.get_context("fork").Pool(min(workers, max(1, len(jobs))))
-        assert pool is not None
+    own_backend = backend is None
+    be = backend if backend is not None else ProcessBackend(
+        max_workers=max_workers
+    )
+    with SharedMergeArena(a, b, partition) as arena:
         try:
-            pool.map(_merge_segment_shm, jobs)
+            be.run_tasks(arena.tasks())
         finally:
-            if own_pool:
-                pool.close()
-                pool.join()
-        out = np.ndarray((total,), dtype=dtype, buffer=shm_o.buf).copy()
-    finally:
-        for shm in (shm_a, shm_b, shm_o):
-            shm.close()
-            shm.unlink()
-    return out
+            if own_backend:
+                be.close()
+        return arena.result()

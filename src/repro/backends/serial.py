@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from ..errors import BatchError
 from .base import Backend, TaskResult
 
 __all__ = ["SerialBackend"]
@@ -26,4 +27,14 @@ class SerialBackend(Backend):
         pass
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
-        return [self._timed(i, task) for i, task in enumerate(tasks)]
+        results = []
+        failures = []
+        for i, task in enumerate(tasks):
+            result, failure = self._attempt(i, task)
+            if failure is not None:
+                failures.append(failure)
+            else:
+                results.append(result)
+        if failures:
+            raise BatchError(failures, total=len(tasks))
+        return results

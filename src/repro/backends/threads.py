@@ -13,6 +13,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from ..errors import BatchError
 from ..validation import check_positive
 from .base import Backend, TaskResult
 
@@ -31,10 +32,22 @@ class ThreadBackend(Backend):
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
         futures = [
-            self._pool.submit(self._timed, i, task) for i, task in enumerate(tasks)
+            self._pool.submit(self._attempt, i, task)
+            for i, task in enumerate(tasks)
         ]
-        # future.result() re-raises BackendError from _timed on failure.
-        return [f.result() for f in futures]
+        # Every future is drained — a failed task never hides the
+        # outcomes of the tasks submitted after it.
+        results = []
+        failures = []
+        for f in futures:
+            result, failure = f.result()
+            if failure is not None:
+                failures.append(failure)
+            else:
+                results.append(result)
+        if failures:
+            raise BatchError(failures, total=len(tasks))
+        return results
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

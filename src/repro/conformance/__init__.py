@@ -30,7 +30,14 @@ every merge and sort entry point in the codebase:
 ``runner``
     ``run_conformance(tier=...)`` — the ``python -m repro conformance``
     entry point and the pytest quick tier.
+``chaos``
+    The fault-injection tier (``run_conformance(..., chaos=True)`` /
+    ``--chaos``): every injectable implementation re-runs through
+    fault-wrapped backends and must still match the oracle via the
+    resilience layer's retries, timeouts, and speculation.
 """
+
+from .chaos import ChaosBackendCache
 
 from .fuzzer import Mismatch, compare_merge, compare_sort, minimize_merge_case
 from .invariants import (
@@ -65,6 +72,7 @@ __all__ = [
     "check_slice_disjointness",
     "RaceFinding",
     "audited_parallel_merge",
+    "ChaosBackendCache",
     "run_conformance",
     "render_report",
     "ConformanceReport",

@@ -59,6 +59,10 @@ class Implementation:
     #: (None: the implementation does not expose the partition +
     #: merge_into structure the tracker instruments).
     race_backend: str | None = None
+    #: Whether the implementation routes its tasks through the shared
+    #: :class:`BackendCache` — i.e. whether the chaos tier can inject
+    #: faults into it by swapping the cache for a fault-wrapped one.
+    injectable: bool = False
     notes: str = ""
 
 
@@ -187,17 +191,17 @@ def build_registry(
         Implementation(
             "backend.parallel_merge.serial", "backend", "merge",
             lambda a, b, p: parallel_merge(a, b, p, backend=cache.get("serial")),
-            race_backend="serial",
+            race_backend="serial", injectable=True,
         ),
         Implementation(
             "backend.parallel_merge.threads", "backend", "merge",
             lambda a, b, p: parallel_merge(a, b, p, backend=cache.get("threads")),
-            race_backend="threads",
+            race_backend="threads", injectable=True,
         ),
         Implementation(
             "backend.parallel_merge.processes", "backend", "merge",
             lambda a, b, p: parallel_merge(a, b, p, backend=cache.get("processes")),
-            tiers=("full",),
+            tiers=("full",), injectable=True,
             notes="shared-memory process pool; full tier only for speed",
         ),
         # ---- Algorithm 2 (SPM) --------------------------------------
@@ -206,33 +210,37 @@ def build_registry(
             lambda a, b, p: segmented_parallel_merge(
                 a, b, p, L=16, backend=cache.get("serial")
             ),
+            injectable=True,
         ),
         Implementation(
             "backend.segmented_merge.threads", "backend", "merge",
             lambda a, b, p: segmented_parallel_merge(
                 a, b, p, L=16, backend=cache.get("threads")
             ),
-            race_backend="threads",
+            race_backend="threads", injectable=True,
         ),
         # ---- extensions ---------------------------------------------
         Implementation("extension.streaming_merge", "extension", "merge", _streaming),
-        Implementation("extension.inplace_parallel", "extension", "merge", _inplace),
+        Implementation("extension.inplace_parallel", "extension", "merge",
+                       _inplace, injectable=True),
         Implementation(
             "extension.kway_merge.pairwise", "extension", "merge",
             lambda a, b, p: kway_merge([a, b], p, backend=cache.get("serial")),
+            injectable=True,
         ),
         Implementation(
             "extension.kway_merge", "extension", "kway",
             lambda arrays, p: kway_merge(
                 list(arrays), p, backend=cache.get("serial")
             ),
+            injectable=True,
         ),
         Implementation("extension.argmerge", "extension", "keyed",
                        lambda a, b, p: argmerge(a, b)),
         Implementation("extension.merge_by_key.threads", "extension", "keyed",
-                       _keyed_by_key),
+                       _keyed_by_key, injectable=True),
         Implementation("extension.merge_records", "extension", "keyed",
-                       _keyed_records),
+                       _keyed_records, injectable=True),
         # ---- multiset operations (std::set_* semantics) -------------
         Implementation(
             "extension.setops.union", "extension", "setop",
@@ -298,19 +306,19 @@ def build_registry(
         Implementation(
             "core.parallel_merge_sort.threads", "core", "sort",
             lambda x, p: parallel_merge_sort(x, p, backend=cache.get("threads")),
-            stable=False,
+            stable=False, injectable=True,
         ),
         Implementation(
             "core.cache_efficient_sort", "core", "sort",
             lambda x, p: cache_efficient_sort(
                 x, p, 96, backend=cache.get("serial")
             ),
-            stable=False,
+            stable=False, injectable=True,
         ),
         Implementation(
             "core.natural_merge_sort", "core", "sort",
             lambda x, p: natural_merge_sort(x, p, backend=cache.get("serial")),
-            stable=False,
+            stable=False, injectable=True,
         ),
         Implementation(
             "gpu.blocked_sort", "gpu", "sort",

@@ -404,13 +404,28 @@ def run_conformance(
     *,
     seed: int = DEFAULT_SEED,
     registry: dict[str, Implementation] | None = None,
+    chaos: bool = False,
 ) -> ConformanceReport:
     """Run the full conformance battery for one tier.
 
     ``registry`` overrides the built-in registry (used by the mutation
     tests to inject deliberately broken implementations).
+
+    ``chaos=True`` adds the fault-injection tier: every injectable
+    implementation is additionally driven through fault-wrapped
+    backends (seeded errors, stragglers, hangs, worker deaths — see
+    :mod:`repro.conformance.chaos`) and must still match the oracle via
+    the resilience layer; two run-level checks cover real worker-death
+    recovery and the graceful-degradation chain.
     """
     cache = BackendCache()
+    chaos_cache = None
+    chaos_reg: dict[str, Implementation] = {}
+    if chaos:
+        from .chaos import ChaosBackendCache
+
+        chaos_cache = ChaosBackendCache(seed=seed)
+        chaos_reg = build_registry(tier, backends=chaos_cache)
     try:
         reg = registry if registry is not None else build_registry(tier, backends=cache)
         mcases = list(merge_cases(tier, seed))
@@ -448,6 +463,13 @@ def run_conformance(
             checks.append(balance)
             checks.append(disjoint)
             checks.append(_race_check(impl, mcases))
+            if chaos_cache is not None:
+                from .chaos import chaos_check
+
+                chaos_impl = chaos_reg.get(impl.name, impl)
+                checks.append(
+                    chaos_check(chaos_impl, chaos_cache, mcases, scases, kcases)
+                )
             reports.append(ImplementationReport(impl, tuple(checks)))
 
         # Run-level: Proposition 13 flip-point uniqueness, brute-forced
@@ -470,6 +492,11 @@ def run_conformance(
                 cases=flip_count,
             ),
         )
+        if chaos_cache is not None:
+            from .chaos import chaos_run_checks
+
+            chaos_cache.disarm()  # run-level checks build their own faults
+            run_checks = run_checks + chaos_run_checks(seed)
         return ConformanceReport(
             tier=tier,
             seed=seed,
@@ -477,6 +504,8 @@ def run_conformance(
             run_checks=run_checks,
         )
     finally:
+        if chaos_cache is not None:
+            chaos_cache.close()
         cache.close()
 
 
@@ -487,16 +516,18 @@ def render_report(report: ConformanceReport) -> str:
         f"conformance tier={report.tier} seed={report.seed} — "
         f"{len(report.reports)} implementations"
     )
+    columns = ("differential", "stability", "balance", "disjoint", "races")
+    if any(c.name == "chaos" for r in report.reports for c in r.checks):
+        columns = columns + ("chaos",)
     header = f"{'implementation':<36} {'kind':<6} " + " ".join(
-        f"{name:<12}"
-        for name in ("differential", "stability", "balance", "disjoint", "races")
+        f"{name:<12}" for name in columns
     )
     lines.append(header)
     lines.append("-" * len(header))
     marks = {"pass": "ok", "fail": "FAIL", "skip": "-", "expected-fail": "xfail"}
     for r in report.reports:
         cells = []
-        for name in ("differential", "stability", "balance", "disjoint", "races"):
+        for name in columns:
             try:
                 c = r.check(name)
                 cells.append(f"{marks[c.status]:<12}")
@@ -509,6 +540,16 @@ def render_report(report: ConformanceReport) -> str:
             + (f" ({c.detail})" if c.detail else "")
             + f" on {c.cases} case(s)"
         )
+    chaos_details = [
+        f"  {r.impl.name:<36} {c.detail}"
+        for r in report.reports
+        for c in r.checks
+        if c.name == "chaos" and c.status == "pass" and c.detail
+    ]
+    if chaos_details:
+        lines.append("")
+        lines.append("chaos recovery per implementation:")
+        lines.extend(chaos_details)
     failures = [
         (r, c)
         for r in report.reports

@@ -15,15 +15,18 @@ ran with how many cooperating processors) for the SORT experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..backends import Backend, get_backend
+from ..backends import Backend
 from ..types import MergeStats
 from ..validation import as_array, check_positive
 from .merge_path import partition_merge_path
-from .parallel_merge import merge_partition
+from .parallel_merge import _flush_telemetry, _resolve_execution, merge_partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import ExecutionTelemetry, RetryPolicy
 
 __all__ = ["parallel_merge_sort", "merge_sort_rounds", "RoundInfo"]
 
@@ -77,6 +80,8 @@ def parallel_merge_sort(
     kernel: str = "vectorized",
     base_sort: str = "numpy",
     stats: MergeStats | None = None,
+    resilience: "RetryPolicy | bool | None" = None,
+    telemetry: "ExecutionTelemetry | None" = None,
 ) -> np.ndarray:
     """Sort ``x`` with ``p`` processors using merge-path merges.
 
@@ -97,6 +102,13 @@ def parallel_merge_sort(
         pipeline within counted kernels).
     stats:
         Optional operation-count sink covering the merge rounds.
+    resilience:
+        Enable fault-tolerant execution for every round (chunk sorts
+        and merges): ``True`` for the default
+        :class:`~repro.resilience.RetryPolicy`, or a policy instance.
+    telemetry:
+        Optional :class:`~repro.resilience.ExecutionTelemetry` sink
+        collecting the supervision record of all rounds.
 
     Returns
     -------
@@ -109,8 +121,7 @@ def parallel_merge_sort(
     if n <= 1:
         return arr
 
-    own_backend = isinstance(backend, str)
-    be = get_backend(backend, max_workers=p) if own_backend else backend
+    be, owned, t_start = _resolve_execution(backend, p, resilience, telemetry)
     try:
         # --- Round 0: independent chunk sorts, one chunk per processor.
         chunks = min(p, n)
@@ -144,7 +155,8 @@ def parallel_merge_sort(
             runs = next_runs
         return runs[0]
     finally:
-        if own_backend:
+        _flush_telemetry(be, t_start, telemetry)
+        if owned:
             be.close()
 
 

@@ -23,12 +23,16 @@ from typing import Sequence
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..backends import Backend, get_backend
-from ..backends.processes import ProcessBackend
 from ..types import MergeStats, Partition
 from ..validation import as_array, check_mergeable, check_positive
 from .merge_path import partition_merge_path
 from .sequential import merge_into, result_dtype
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import ExecutionTelemetry, RetryPolicy
 
 __all__ = ["parallel_merge", "merge", "merge_partition"]
 
@@ -48,9 +52,19 @@ def merge_partition(
     slices of the shared output array.  The per-task closures capture
     only views — no element data is copied (except on the process
     backend, which stages arrays in shared memory once).
+
+    Backends that can do better than the generic closure route — the
+    process backend and the resilience wrappers around it — advertise a
+    ``merge_partition(a, b, partition)`` hook (see
+    :class:`repro.backends.Backend`); it is probed first and a
+    non-``None`` return is the result.  The hook path uses the
+    vectorized kernel and does not feed ``stats``.
     """
-    if isinstance(backend, ProcessBackend):
-        return backend.merge_partition(a, b, partition)
+    fast_path = getattr(backend, "merge_partition", None)
+    if fast_path is not None:
+        merged = fast_path(a, b, partition)
+        if merged is not None:
+            return merged
 
     out = np.empty(partition.total_length, dtype=result_dtype(a, b))
     per_task_stats: list[MergeStats | None] = [
@@ -82,6 +96,45 @@ def merge_partition(
     return out
 
 
+def _resolve_execution(
+    backend: Backend | str,
+    p: int,
+    resilience: "RetryPolicy | bool | None",
+    telemetry: "ExecutionTelemetry | None",
+) -> tuple[Backend, bool, int]:
+    """Shared backend setup for the parallel entry points.
+
+    Returns ``(backend, owned, telemetry_start)``: the (possibly
+    resiliently wrapped) backend, whether the caller must close it, and
+    how many telemetry batches it had already recorded (so only this
+    call's batches are copied into the caller's sink afterwards).
+    """
+    owned = isinstance(backend, str)
+    be = get_backend(backend, max_workers=p) if owned else backend
+    if resilience:
+        from ..resilience import ResilientBackend, RetryPolicy
+
+        policy = resilience if isinstance(resilience, RetryPolicy) else None
+        be = ResilientBackend(be, policy, owns_inner=owned)
+        owned = True
+        if telemetry is not None:
+            be.telemetry = telemetry
+    sink = getattr(be, "telemetry", None)
+    start = len(sink.batches) if sink is not None else 0
+    return be, owned, start
+
+
+def _flush_telemetry(
+    be: Backend, start: int, telemetry: "ExecutionTelemetry | None"
+) -> None:
+    """Copy batches recorded since ``start`` into the caller's sink."""
+    sink = getattr(be, "telemetry", None)
+    if telemetry is None or sink is None or sink is telemetry:
+        return
+    for batch in sink.batches[start:]:
+        telemetry.record(batch)
+
+
 def parallel_merge(
     a: Sequence | np.ndarray,
     b: Sequence | np.ndarray,
@@ -92,6 +145,8 @@ def parallel_merge(
     check: bool = True,
     oversubscribe: int = 1,
     stats: MergeStats | None = None,
+    resilience: "RetryPolicy | bool | None" = None,
+    telemetry: "ExecutionTelemetry | None" = None,
 ) -> np.ndarray:
     """Merge two sorted arrays with ``p`` processors (Algorithm 1).
 
@@ -118,6 +173,19 @@ def parallel_merge(
         data); Corollary 7 makes it unnecessary for uniform cost.
     stats:
         Optional operation-count sink (partition probes + merge ops).
+    resilience:
+        Enable the fault-tolerant execution layer
+        (:mod:`repro.resilience`): ``True`` wraps the backend in a
+        :class:`~repro.resilience.ResilientBackend` with the default
+        :class:`~repro.resilience.RetryPolicy`; pass a policy instance
+        to customize retries/timeouts/speculation.  Safe because the
+        merge tasks are idempotent and write disjoint slices
+        (Theorem 14).
+    telemetry:
+        Optional :class:`~repro.resilience.ExecutionTelemetry` sink; on
+        return it holds the retry/timeout/speculation record of every
+        supervised batch this call ran (requires ``resilience`` or an
+        already-resilient ``backend``).
 
     Returns
     -------
@@ -136,14 +204,14 @@ def parallel_merge(
         a, b, p * oversubscribe, check=False, stats=stats
     )
 
-    own_backend = isinstance(backend, str)
-    be = get_backend(backend, max_workers=p) if own_backend else backend
+    be, owned, t_start = _resolve_execution(backend, p, resilience, telemetry)
     try:
         return merge_partition(
             a, b, partition, backend=be, kernel=kernel, stats=stats
         )
     finally:
-        if own_backend:
+        _flush_telemetry(be, t_start, telemetry)
+        if owned:
             be.close()
 
 

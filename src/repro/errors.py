@@ -9,6 +9,9 @@ from simulator-detected model violations
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
@@ -79,6 +82,84 @@ class DeadlockError(SimulationError):
 
 class BackendError(ReproError):
     """An execution backend failed to run a task set."""
+
+
+class BackendUnavailableError(BackendError):
+    """A requested backend cannot run in this environment.
+
+    Raised instead of a bare ``ImportError`` when a backend's supporting
+    dependency is missing (e.g. the ``mpi`` backend without mpi4py) or
+    its runtime prerequisites are absent.  The message names the missing
+    piece and points at the degradation chain
+    (``mpi → processes → threads → serial``) so callers can fall back
+    deliberately via :func:`repro.resilience.resolve_backend`.
+    """
+
+    def __init__(self, backend: str, missing: str, hint: str = "") -> None:
+        self.backend = backend
+        #: Name of the missing dependency or capability.
+        self.missing = missing
+        fallback = hint or (
+            "fall back along the degradation chain "
+            "(mpi → processes → threads → serial), e.g. via "
+            "repro.resilience.resolve_backend()"
+        )
+        super().__init__(
+            f"backend {backend!r} is unavailable: requires {missing}; {fallback}"
+        )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Record of one task that could not be completed by a backend.
+
+    ``kind`` classifies the failure mode:
+
+    * ``"exception"``    — the task callable raised;
+    * ``"timeout"``      — the attempt exceeded the per-task deadline and
+      was abandoned (safe to re-execute: Theorem 14 tasks are idempotent
+      and write disjoint output slices);
+    * ``"worker-death"`` — the worker process executing the task died
+      (e.g. SIGKILL / OOM) and the pool reported it broken;
+    * ``"unavailable"``  — no healthy executor could accept the task.
+    """
+
+    index: int
+    kind: str
+    message: str
+    #: The underlying exception when one was captured (kept out of the
+    #: dataclass repr so BatchError messages stay single-line per task).
+    error: BaseException | None = field(default=None, repr=False)
+    #: Dispatch attempts consumed on this task when the failure was
+    #: recorded (1 = the primary attempt, no retries).
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return f"task {self.index} failed [{self.kind}]: {self.message}"
+
+
+class BatchError(BackendError):
+    """One or more tasks of a batch failed (ExceptionGroup-style).
+
+    Unlike an abort-on-first-exception model, backends attempt **every**
+    task of a batch and collect all failures here, so callers see the
+    complete damage report: which task indices failed, how, and after
+    how many attempts.  ``failures`` is ordered by task index; the first
+    captured exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure], total: int | None = None) -> None:
+        self.failures = tuple(sorted(failures, key=lambda f: f.index))
+        #: Batch size, when the caller supplied it.
+        self.total = total
+        self.task_indices = tuple(f.index for f in self.failures)
+        of = f" of {total}" if total is not None else ""
+        lines = "; ".join(f.describe() for f in self.failures)
+        super().__init__(f"{len(self.failures)}{of} task(s) failed: {lines}")
+        for f in self.failures:
+            if f.error is not None:
+                self.__cause__ = f.error
+                break
 
 
 class ExperimentError(ReproError):

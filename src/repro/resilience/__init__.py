@@ -1,0 +1,62 @@
+"""Fault-tolerant execution layer for Merge Path backends.
+
+The paper's structural guarantee makes this layer cheap: the ``p``
+merge tasks produced by Algorithm 1 are independent, idempotent, and
+write disjoint output slices (Theorem 14), so a supervisor may retry a
+failed task, abandon a hung attempt, speculatively duplicate a
+straggler, or replay a whole batch on a different backend — all without
+locks or coordination, and without ever corrupting the merged output.
+
+Components
+----------
+:class:`RetryPolicy`
+    Frozen knobs: retries, per-attempt timeout, seeded-jitter
+    exponential backoff, speculation thresholds.
+:class:`ResilientBackend`
+    Wraps any backend with per-task supervision and reports everything
+    it did through :class:`ExecutionTelemetry`.
+:class:`FaultInjector` / :class:`FaultyBackend`
+    Seeded, deterministic chaos: injected errors, delays, hangs, and
+    worker deaths for testing the layer (and the conformance chaos
+    tier).
+:func:`resolve_backend` / :class:`DegradingBackend`
+    Graceful degradation along ``mpi → processes → threads → serial``
+    with health probes and :class:`DegradationWarning` diagnostics.
+"""
+
+from .degrade import (
+    DEGRADATION_CHAIN,
+    DegradationWarning,
+    DegradingBackend,
+    probe_backend,
+    resolve_backend,
+)
+from .faults import (
+    FaultDecision,
+    FaultInjector,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedWorkerDeath,
+)
+from .policy import RetryPolicy
+from .resilient import ResilientBackend, innermost_backend
+from .telemetry import BatchTelemetry, ExecutionTelemetry, TaskTelemetry
+
+__all__ = [
+    "RetryPolicy",
+    "ResilientBackend",
+    "innermost_backend",
+    "FaultInjector",
+    "FaultyBackend",
+    "FaultDecision",
+    "InjectedFault",
+    "SimulatedWorkerDeath",
+    "TaskTelemetry",
+    "BatchTelemetry",
+    "ExecutionTelemetry",
+    "DEGRADATION_CHAIN",
+    "DegradationWarning",
+    "probe_backend",
+    "resolve_backend",
+    "DegradingBackend",
+]

@@ -1,0 +1,292 @@
+"""Graceful backend degradation: mpi → processes → threads → serial.
+
+Two entry points:
+
+* :func:`resolve_backend` — one-shot resolution.  Probes the preferred
+  backend (construct + run a trivial task) and walks down the chain on
+  failure, emitting a structured :class:`DegradationWarning` per hop,
+  until a healthy backend answers; returns it wrapped in a
+  :class:`~repro.resilience.ResilientBackend`.
+* :class:`DegradingBackend` — a live fallback chain.  Levels are built
+  lazily, each wrapped in a :class:`ResilientBackend`; when a batch
+  still fails after that layer's retries (e.g. the pool keeps dying),
+  the level accrues a strike, the batch transparently re-runs on the
+  next level, and a level that exhausts its strike budget is disabled
+  for the rest of the run.
+
+The re-run-elsewhere move is safe for the same reason retries are: the
+paper's merge tasks are idempotent and write disjoint slices
+(Theorem 14), so a batch that half-ran on a dying pool can be replayed
+wholesale on another executor.  The serial tail of the default chain
+cannot die, so a degrading execution always completes (or surfaces a
+genuine task bug).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..backends.base import Backend
+from ..errors import BackendError, BackendUnavailableError, InputError
+from ..types import Partition
+from .policy import RetryPolicy
+from .resilient import ResilientBackend
+from .telemetry import ExecutionTelemetry
+
+__all__ = [
+    "DEGRADATION_CHAIN",
+    "DegradationWarning",
+    "probe_backend",
+    "resolve_backend",
+    "DegradingBackend",
+]
+
+#: Default fallback order, fastest-but-most-fragile first.
+DEGRADATION_CHAIN: tuple[str, ...] = ("mpi", "processes", "threads", "serial")
+
+
+class DegradationWarning(UserWarning):
+    """A backend was skipped or abandoned in favor of a lower level."""
+
+
+def _probe_task() -> int:
+    # Module-level so it pickles into process workers.
+    return 1729
+
+
+def _construct(name: str, max_workers: int | None = None):
+    """Build a registered backend, tolerating no-``max_workers`` ctors."""
+    from ..backends.base import get_backend
+
+    if max_workers is None:
+        return get_backend(name)
+    try:
+        return get_backend(name, max_workers=max_workers)
+    except TypeError:
+        return get_backend(name)
+
+
+def _probe_instance(backend) -> str | None:
+    """Run one trivial task; return a defect description or ``None``."""
+    try:
+        results = backend.run_tasks([_probe_task])
+    except Exception as exc:  # noqa: BLE001 - probe reports, never raises
+        return f"health probe failed: {exc!r}"
+    if len(results) != 1 or results[0].value != 1729:
+        return "health probe returned a wrong result"
+    return None
+
+
+def probe_backend(name: str, *, max_workers: int | None = None) -> str | None:
+    """Check one backend end to end.  ``None`` means healthy."""
+    try:
+        backend = _construct(name, max_workers)
+    except BackendUnavailableError as exc:
+        return f"requires {exc.missing}"
+    except (BackendError, InputError) as exc:
+        return str(exc)
+    try:
+        return _probe_instance(backend)
+    finally:
+        backend.close()
+
+
+def _candidates(
+    preferred: str | None, chain: Sequence[str]
+) -> list[str]:
+    if preferred is None:
+        return list(chain)
+    if preferred in chain:
+        return list(chain[list(chain).index(preferred):])
+    return [preferred, *chain]
+
+
+def resolve_backend(
+    preferred: str | None = None,
+    *,
+    policy: RetryPolicy | None = None,
+    max_workers: int | None = None,
+    chain: Sequence[str] = DEGRADATION_CHAIN,
+) -> ResilientBackend:
+    """Resolve the best healthy backend at or below ``preferred``.
+
+    Construction failures (missing ``mpi4py``, restricted shared
+    memory) and failed health probes both demote: each hop emits a
+    :class:`DegradationWarning` naming the skipped backend and the
+    reason, and the first healthy level is returned wrapped in a
+    :class:`ResilientBackend` (with ``policy``, default policy when
+    ``None``).  Raises :class:`~repro.errors.BackendError` only if every
+    candidate — including ``serial`` — is broken.
+    """
+    reasons: list[str] = []
+    names = _candidates(preferred, chain)
+    for pos, name in enumerate(names):
+        try:
+            backend = _construct(name, max_workers)
+        except BackendUnavailableError as exc:
+            reason = f"requires {exc.missing}"
+        except (BackendError, InputError) as exc:
+            reason = str(exc)
+        else:
+            defect = _probe_instance(backend)
+            if defect is None:
+                if pos > 0:
+                    warnings.warn(
+                        f"degraded to backend {name!r} "
+                        f"(skipped: {'; '.join(reasons)})",
+                        DegradationWarning,
+                        stacklevel=2,
+                    )
+                return ResilientBackend(backend, policy, owns_inner=True)
+            backend.close()
+            reason = defect
+        reasons.append(f"{name}: {reason}")
+        warnings.warn(
+            f"backend {name!r} unavailable ({reason}); "
+            f"falling back along {names[pos + 1:] or ['<nothing>']}",
+            DegradationWarning,
+            stacklevel=2,
+        )
+    raise BackendError(
+        "no backend in the degradation chain is healthy: "
+        + "; ".join(reasons)
+    )
+
+
+class DegradingBackend(Backend):
+    """A backend that falls down a chain of levels as they fail.
+
+    ``chain`` entries are backend names or ready :class:`Backend`
+    instances; each is lazily wrapped in a :class:`ResilientBackend`
+    sharing this instance's ``telemetry``.  A batch runs on the highest
+    healthy level; if that level's resilience layer still raises
+    :class:`~repro.errors.BackendError`, the level takes a strike, a
+    :class:`DegradationWarning` is emitted, and the batch is replayed on
+    the next level (safe: tasks are idempotent with disjoint outputs).
+    A level with ``failure_threshold`` strikes is disabled for good.
+    """
+
+    name = "degrading"
+
+    def __init__(
+        self,
+        chain: Sequence[Any] = DEGRADATION_CHAIN,
+        *,
+        policy: RetryPolicy | None = None,
+        max_workers: int | None = None,
+        failure_threshold: int = 1,
+    ) -> None:
+        if not chain:
+            raise BackendError("degradation chain must not be empty")
+        self._entries = list(chain)
+        self._policy = policy
+        self._max_workers = max_workers
+        self._failure_threshold = max(1, failure_threshold)
+        self._levels: dict[int, ResilientBackend] = {}
+        self._strikes: dict[int, int] = {}
+        self._disabled: dict[int, str] = {}
+        self.telemetry = ExecutionTelemetry()
+
+    def _entry_name(self, index: int) -> str:
+        entry = self._entries[index]
+        return entry if isinstance(entry, str) else getattr(
+            entry, "name", type(entry).__name__
+        )
+
+    def _level(self, index: int) -> ResilientBackend:
+        level = self._levels.get(index)
+        if level is None:
+            entry = self._entries[index]
+            if isinstance(entry, ResilientBackend):
+                level = entry
+            elif isinstance(entry, str):
+                level = ResilientBackend(
+                    _construct(entry, self._max_workers),
+                    self._policy,
+                    owns_inner=True,
+                )
+            else:
+                level = ResilientBackend(entry, self._policy, owns_inner=False)
+            level.telemetry = self.telemetry
+            self._levels[index] = level
+        return level
+
+    def _disable(self, index: int, reason: str) -> None:
+        self._disabled[index] = reason
+
+    @property
+    def active_backend(self) -> str | None:
+        """Name of the first level still eligible to run batches."""
+        for i in range(len(self._entries)):
+            if i not in self._disabled:
+                return self._entry_name(i)
+        return None
+
+    def _dispatch(self, op: Callable[[ResilientBackend], Any], what: str) -> Any:
+        last: BackendError | None = None
+        for i in range(len(self._entries)):
+            if i in self._disabled:
+                continue
+            name = self._entry_name(i)
+            try:
+                level = self._level(i)
+            except BackendUnavailableError as exc:
+                self._disable(i, f"requires {exc.missing}")
+                last = exc
+                warnings.warn(
+                    f"degradation: backend {name!r} unavailable "
+                    f"(requires {exc.missing}); trying the next level",
+                    DegradationWarning,
+                    stacklevel=3,
+                )
+                continue
+            try:
+                return op(level)
+            except BackendError as exc:
+                last = exc
+                strikes = self._strikes.get(i, 0) + 1
+                self._strikes[i] = strikes
+                if strikes >= self._failure_threshold:
+                    self._disable(i, f"failed {strikes} batch(es): {exc}")
+                warnings.warn(
+                    f"degradation: backend {name!r} failed {what} even with "
+                    f"retries ({exc}); replaying on the next level",
+                    DegradationWarning,
+                    stacklevel=3,
+                )
+        raise BackendError(
+            f"every level of the degradation chain failed {what}"
+        ) from last
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list:
+        tasks = list(tasks)
+        return self._dispatch(lambda lvl: lvl.run_tasks(tasks), "a task batch")
+
+    def merge_partition(
+        self, a: np.ndarray, b: np.ndarray, partition: Partition
+    ) -> np.ndarray:
+        """Partitioned merge that survives level failures.
+
+        Stages the arrays in a shared-memory arena so the segment tasks
+        are picklable (process levels) yet equally runnable in-process
+        (thread/serial levels), and replays the whole idempotent batch
+        on the next level if one gives out mid-merge.
+        """
+        from ..backends.processes import SharedMergeArena
+
+        def op(level: ResilientBackend) -> np.ndarray:
+            with SharedMergeArena(a, b, partition) as arena:
+                tasks = arena.tasks()
+                if tasks:
+                    level.run_tasks(tasks)
+                return arena.result()
+
+        return self._dispatch(op, "a partitioned merge")
+
+    def close(self) -> None:
+        for level in self._levels.values():
+            level.close()
+        self._levels.clear()

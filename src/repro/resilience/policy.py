@@ -1,0 +1,97 @@
+"""Retry, timeout, and speculation policy for resilient execution.
+
+One frozen dataclass describes everything a supervisor may do to a
+task: how many times to retry it, how long an attempt may run before it
+is abandoned, how retries back off (exponential with a seeded jitter so
+two runs of the same batch produce the same delay sequence — the whole
+package is deterministic-by-seed and the resilience layer keeps that
+property), and when a straggling task earns a speculative duplicate.
+
+All of it is sound only because of the paper's structural guarantee
+(Theorem 14): the ``p`` merge tasks are independent, idempotent, and
+write disjoint output slices, so re-executing — or even concurrently
+duplicating — a task can never corrupt the result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import InputError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for :class:`repro.resilience.ResilientBackend`.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries allowed per task *after* the primary attempt.
+    timeout_s:
+        Per-attempt deadline.  An attempt that exceeds it is abandoned
+        (its eventual writes are harmless by idempotence/disjointness)
+        and counted as a ``timeout`` failure; ``None`` disables
+        deadlines entirely.
+    backoff_base_s / backoff_multiplier / backoff_cap_s:
+        Exponential backoff: retry ``k`` (1-based) waits
+        ``min(cap, base * multiplier**(k-1))`` before dispatch.
+    jitter:
+        Fractional jitter: each delay is multiplied by
+        ``1 + U(0, jitter)`` drawn from a stream seeded with ``seed``,
+        decorrelating retry storms while staying reproducible.
+    seed:
+        Seeds the jitter stream.
+    speculate:
+        Enable straggler re-execution.  Leave off for task batches that
+        are *not* idempotent (a duplicate attempt runs concurrently with
+        the original).
+    straggler_factor / speculation_floor_s / min_completed_for_speculation:
+        A running task is a straggler once at least
+        ``min_completed_for_speculation`` tasks finished and its age
+        exceeds ``max(straggler_factor * median_completed_duration,
+        speculation_floor_s)``.
+    max_speculative:
+        Speculative duplicates allowed per task; the first finisher
+        wins and every other attempt's result is discarded.
+    """
+
+    max_retries: int = 2
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    speculate: bool = True
+    straggler_factor: float = 4.0
+    speculation_floor_s: float = 0.05
+    min_completed_for_speculation: int = 2
+    max_speculative: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise InputError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise InputError("timeout_s must be positive (or None)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise InputError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise InputError("backoff_multiplier must be >= 1")
+        if self.jitter < 0:
+            raise InputError("jitter must be >= 0")
+        if self.straggler_factor <= 1.0:
+            raise InputError("straggler_factor must be > 1")
+        if self.max_speculative < 0:
+            raise InputError("max_speculative must be >= 0")
+
+    def backoff_s(self, retry_number: int, rng: random.Random) -> float:
+        """Jittered delay before retry ``retry_number`` (1-based)."""
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_multiplier ** (retry_number - 1),
+        )
+        return base * (1.0 + rng.random() * self.jitter)

@@ -1,0 +1,142 @@
+"""Retry/timeout/speculation telemetry for resilient batches.
+
+The supervisor records, per task, how many dispatches it took, which
+attempt won (primary, retry, or speculative), every failure along the
+way, and the exact backoff delays that were scheduled — the latter make
+the seeded-jitter determinism directly testable.  Batches aggregate
+into an :class:`ExecutionTelemetry` that the high-level entry points
+(:func:`repro.core.parallel_merge.parallel_merge`,
+:func:`repro.core.merge_sort.parallel_merge_sort`) expose to callers
+and the conformance chaos tier prints in its verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TaskFailure
+
+__all__ = ["TaskTelemetry", "BatchTelemetry", "ExecutionTelemetry"]
+
+
+@dataclass(frozen=True)
+class TaskTelemetry:
+    """Supervision record for one task of one batch."""
+
+    index: int
+    #: Total attempts dispatched (primary + retries + speculative).
+    dispatches: int
+    retries: int = 0
+    timeouts: int = 0
+    speculations: int = 0
+    worker_deaths: int = 0
+    #: Scheduled backoff delays, in order (seeded-jitter observable).
+    backoff_delays_s: tuple[float, ...] = ()
+    failures: tuple[TaskFailure, ...] = ()
+    #: Which attempt produced the accepted result: ``"primary"``,
+    #: ``"retry"``, or ``"speculative"``; ``None`` if the task failed.
+    winner: str | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.winner is not None
+
+
+@dataclass(frozen=True)
+class BatchTelemetry:
+    """Aggregate supervision record for one ``run_tasks`` batch."""
+
+    tasks: tuple[TaskTelemetry, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.tasks)
+
+    @property
+    def dispatches(self) -> int:
+        return sum(t.dispatches for t in self.tasks)
+
+    @property
+    def retries(self) -> int:
+        return sum(t.retries for t in self.tasks)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(t.timeouts for t in self.tasks)
+
+    @property
+    def speculations(self) -> int:
+        return sum(t.speculations for t in self.tasks)
+
+    @property
+    def worker_deaths(self) -> int:
+        return sum(t.worker_deaths for t in self.tasks)
+
+    @property
+    def backoff_delays_s(self) -> tuple[float, ...]:
+        out: list[float] = []
+        for t in self.tasks:
+            out.extend(t.backoff_delays_s)
+        return tuple(out)
+
+    def describe(self) -> str:
+        return (
+            f"tasks={len(self.tasks)} dispatches={self.dispatches} "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"speculations={self.speculations} "
+            f"worker_deaths={self.worker_deaths}"
+        )
+
+
+@dataclass
+class ExecutionTelemetry:
+    """Running aggregate over every supervised batch of an execution.
+
+    Mutable on purpose: callers hand one instance to ``parallel_merge``
+    / ``parallel_merge_sort`` (or read it off a
+    :class:`~repro.resilience.ResilientBackend`) and inspect the totals
+    afterwards.
+    """
+
+    batches: list[BatchTelemetry] = field(default_factory=list)
+
+    def record(self, batch: BatchTelemetry) -> None:
+        self.batches.append(batch)
+
+    @property
+    def dispatches(self) -> int:
+        return sum(b.dispatches for b in self.batches)
+
+    @property
+    def retries(self) -> int:
+        return sum(b.retries for b in self.batches)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(b.timeouts for b in self.batches)
+
+    @property
+    def speculations(self) -> int:
+        return sum(b.speculations for b in self.batches)
+
+    @property
+    def worker_deaths(self) -> int:
+        return sum(b.worker_deaths for b in self.batches)
+
+    @property
+    def backoff_delays_s(self) -> tuple[float, ...]:
+        out: list[float] = []
+        for b in self.batches:
+            out.extend(b.backoff_delays_s)
+        return tuple(out)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "batches": len(self.batches),
+            "dispatches": self.dispatches,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "speculations": self.speculations,
+            "worker_deaths": self.worker_deaths,
+        }

@@ -1,0 +1,121 @@
+"""The chaos conformance tier: oracle-identical output under faults."""
+
+import numpy as np
+import pytest
+
+from repro.conformance import run_conformance
+from repro.conformance.chaos import ChaosBackendCache
+from repro.conformance.runner import DEFAULT_SEED, render_report
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    return run_conformance("quick", seed=DEFAULT_SEED, chaos=True)
+
+
+@pytest.mark.conformance
+@pytest.mark.slow
+class TestChaosTier:
+    def test_quick_tier_passes_under_injection(self, chaos_report):
+        assert chaos_report.ok, render_report(chaos_report)
+
+    def test_every_injectable_impl_saw_faults_and_recovered(
+        self, chaos_report
+    ):
+        audited = 0
+        for rep in chaos_report.reports:
+            chaos = rep.check("chaos")
+            if not rep.impl.injectable:
+                assert chaos.status == "skip"
+                continue
+            audited += 1
+            assert chaos.status == "pass", (
+                f"{rep.impl.name}: {chaos.detail}"
+            )
+            assert "injected=0" not in chaos.detail
+        assert audited >= 10  # the chaos tier must audit a real cohort
+
+    def test_recovery_effort_is_visible(self, chaos_report):
+        details = [
+            rep.check("chaos").detail
+            for rep in chaos_report.reports
+            if rep.impl.injectable
+        ]
+        # Somewhere across the cohort, retries actually happened.
+        assert any("retries=" in d and "retries=0 " not in d for d in details)
+
+    def test_run_level_worker_death_check(self, chaos_report):
+        by_name = {c.name: c for c in chaos_report.run_checks}
+        assert by_name["chaos-worker-death"].status == "pass", (
+            by_name["chaos-worker-death"].detail
+        )
+
+    def test_run_level_degradation_check(self, chaos_report):
+        by_name = {c.name: c for c in chaos_report.run_checks}
+        assert by_name["chaos-degradation"].status == "pass", (
+            by_name["chaos-degradation"].detail
+        )
+
+    def test_report_renders_chaos_column(self, chaos_report):
+        text = render_report(chaos_report)
+        assert "chaos" in text
+        assert "chaos recovery per implementation:" in text
+
+
+class TestChaosBackendCache:
+    def test_backends_are_fault_wrapped(self):
+        from repro.resilience import ResilientBackend, innermost_backend
+
+        cache = ChaosBackendCache(seed=3)
+        try:
+            be = cache.get("serial")
+            assert isinstance(be, ResilientBackend)
+            assert innermost_backend(be).name == "serial"
+        finally:
+            cache.close()
+
+    def test_arm_guarantees_first_dispatch_fault(self):
+        cache = ChaosBackendCache(seed=3)
+        try:
+            be = cache.get("serial")
+            cache.arm("some-impl")
+            before = cache.snapshot()
+            be.run_tasks([lambda: 1])
+            after = cache.snapshot()
+            assert after["injected"] - before["injected"] >= 1
+            assert after["retries"] - before["retries"] >= 1
+        finally:
+            cache.close()
+
+    def test_snapshot_deltas_attribute_per_epoch(self):
+        cache = ChaosBackendCache(seed=3)
+        try:
+            be = cache.get("serial")
+            cache.arm("impl-a")
+            be.run_tasks([lambda: 1])
+            mid = cache.snapshot()
+            cache.arm("impl-b")
+            be.run_tasks([lambda: 2])
+            end = cache.snapshot()
+            # Counters reset per epoch for injectors but telemetry is
+            # cumulative; the delta is what attributes work.
+            assert end["dispatches"] > mid["dispatches"]
+        finally:
+            cache.close()
+
+    def test_outputs_identical_to_oracle_under_chaos(self):
+        from repro.core.parallel_merge import parallel_merge
+
+        cache = ChaosBackendCache(seed=5)
+        try:
+            cache.arm("direct")
+            rng = np.random.default_rng(11)
+            a = np.sort(rng.integers(0, 300, 128))
+            b = np.sort(rng.integers(0, 300, 128))
+            merged = parallel_merge(a, b, 4, backend=cache.get("threads"))
+            assert np.array_equal(
+                merged, np.sort(np.concatenate([a, b]), kind="stable")
+            )
+            assert cache.snapshot()["injected"] >= 1
+        finally:
+            cache.close()

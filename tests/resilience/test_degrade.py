@@ -1,0 +1,184 @@
+"""Graceful degradation: probing, resolve_backend, DegradingBackend."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.core.merge_path import partition_merge_path
+from repro.core.parallel_merge import parallel_merge
+from repro.errors import BackendError, BackendUnavailableError
+from repro.resilience import (
+    DEGRADATION_CHAIN,
+    DegradationWarning,
+    DegradingBackend,
+    FaultInjector,
+    FaultyBackend,
+    ResilientBackend,
+    RetryPolicy,
+    innermost_backend,
+    probe_backend,
+    resolve_backend,
+)
+
+
+def _mpi_available() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _doomed():
+    """A backend level where every attempt always fails."""
+    return FaultyBackend(
+        SerialBackend(),
+        FaultInjector(seed=0, error_rate=1.0, faulty_attempts=None),
+    )
+
+
+_FAST = RetryPolicy(max_retries=1, backoff_base_s=0.001, backoff_cap_s=0.01,
+                    speculate=False)
+
+
+class TestProbe:
+    def test_serial_is_healthy(self):
+        assert probe_backend("serial") is None
+
+    def test_threads_is_healthy(self):
+        assert probe_backend("threads", max_workers=2) is None
+
+    @pytest.mark.skipif(_mpi_available(), reason="mpi4py installed here")
+    def test_mpi_reports_missing_dependency(self):
+        defect = probe_backend("mpi")
+        assert defect is not None and "mpi4py" in defect
+
+    def test_unknown_backend_reports_defect(self):
+        defect = probe_backend("no-such-backend")
+        assert defect is not None and "no-such-backend" in defect
+
+
+class TestResolveBackend:
+    def test_healthy_preferred_is_used_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rb = resolve_backend("serial", policy=_FAST)
+        assert isinstance(rb, ResilientBackend)
+        assert innermost_backend(rb).name == "serial"
+        rb.close()
+
+    @pytest.mark.skipif(_mpi_available(), reason="mpi4py installed here")
+    def test_mpi_degrades_down_the_chain_with_warnings(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rb = resolve_backend("mpi", policy=_FAST, max_workers=2)
+        assert innermost_backend(rb).name in ("processes", "threads", "serial")
+        degradations = [
+            w for w in caught if issubclass(w.category, DegradationWarning)
+        ]
+        assert degradations and "mpi4py" in str(degradations[0].message)
+        rb.close()
+
+    def test_default_chain_order(self):
+        assert DEGRADATION_CHAIN == ("mpi", "processes", "threads", "serial")
+
+    def test_unknown_preferred_falls_back_to_chain(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rb = resolve_backend("definitely-not-a-backend", policy=_FAST,
+                                 chain=("serial",))
+        assert innermost_backend(rb).name == "serial"
+        assert any(
+            issubclass(w.category, DegradationWarning) for w in caught
+        )
+        rb.close()
+
+
+class TestDegradingBackend:
+    def test_failing_level_falls_through_with_warning(self):
+        dg = DegradingBackend([_doomed(), "serial"], policy=_FAST)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = dg.run_tasks([lambda: 5, lambda: 6])
+        assert [r.value for r in res] == [5, 6]
+        assert any(
+            issubclass(w.category, DegradationWarning) for w in caught
+        )
+        assert dg.active_backend == "serial"
+        dg.close()
+
+    def test_disabled_level_not_retried_on_next_batch(self):
+        dg = DegradingBackend([_doomed(), "serial"], policy=_FAST,
+                              failure_threshold=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            dg.run_tasks([lambda: 1])
+            # Second batch goes straight to serial: no new warning.
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                dg.run_tasks([lambda: 2])
+        assert not any(
+            issubclass(w.category, DegradationWarning) for w in caught
+        )
+        dg.close()
+
+    def test_all_levels_failing_raises(self):
+        dg = DegradingBackend([_doomed(), _doomed()], policy=_FAST)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            with pytest.raises(BackendError, match="every level"):
+                dg.run_tasks([lambda: 1])
+        dg.close()
+
+    def test_merge_partition_replays_on_next_level(self):
+        rng = np.random.default_rng(7)
+        a = np.sort(rng.integers(0, 500, 300))
+        b = np.sort(rng.integers(0, 500, 300))
+        part = partition_merge_path(a, b, 4, check=False)
+        dg = DegradingBackend([_doomed(), "serial"], policy=_FAST)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            merged = dg.merge_partition(a, b, part)
+        assert np.array_equal(
+            merged, np.sort(np.concatenate([a, b]), kind="stable")
+        )
+        dg.close()
+
+    def test_parallel_merge_over_degrading_backend(self):
+        rng = np.random.default_rng(8)
+        a = np.sort(rng.integers(0, 100, 64))
+        b = np.sort(rng.integers(0, 100, 64))
+        dg = DegradingBackend([_doomed(), "serial"], policy=_FAST)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            merged = parallel_merge(a, b, 4, backend=dg)
+        assert np.array_equal(
+            merged, np.sort(np.concatenate([a, b]), kind="stable")
+        )
+        dg.close()
+
+    def test_shared_telemetry_across_levels(self):
+        dg = DegradingBackend([_doomed(), "serial"], policy=_FAST)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            dg.run_tasks([lambda: 1])
+        # Both the doomed level's attempts and serial's are recorded.
+        assert len(dg.telemetry.batches) == 2
+        assert dg.telemetry.retries >= 1
+        dg.close()
+
+
+class TestUnavailableError:
+    @pytest.mark.skipif(_mpi_available(), reason="mpi4py installed here")
+    def test_get_backend_mpi_names_missing_dep_and_chain(self):
+        from repro.backends import get_backend
+
+        with pytest.raises(BackendUnavailableError) as exc_info:
+            get_backend("mpi")
+        err = exc_info.value
+        assert err.backend == "mpi"
+        assert "mpi4py" in err.missing
+        assert "resolve_backend" in str(err)

@@ -1,0 +1,128 @@
+"""Fault injector determinism and fault-application semantics."""
+
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.backends.threads import ThreadBackend
+from repro.errors import BatchError
+from repro.resilience import (
+    FaultDecision,
+    FaultInjector,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedWorkerDeath,
+)
+from repro.resilience.faults import _apply_fault
+
+
+class TestFaultInjector:
+    def test_decisions_are_deterministic_by_seed(self):
+        a = FaultInjector(seed=42, error_rate=0.3, delay_rate=0.3)
+        b = FaultInjector(seed=42, error_rate=0.3, delay_rate=0.3)
+        grid = [(k, att) for k in range(50) for att in range(1)]
+        assert [a.decide(*g) for g in grid] == [b.decide(*g) for g in grid]
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(seed=1, error_rate=0.5)
+        b = FaultInjector(seed=2, error_rate=0.5)
+        grid = [(k, 0) for k in range(100)]
+        assert [a.decide(*g) for g in grid] != [b.decide(*g) for g in grid]
+
+    def test_rates_roughly_respected(self):
+        inj = FaultInjector(seed=0, error_rate=0.25)
+        hits = sum(
+            inj.decide(k, 0).kind == "error" for k in range(1000)
+        )
+        assert 150 < hits < 350
+
+    def test_faulty_attempts_bounds_injection(self):
+        inj = FaultInjector(seed=0, error_rate=1.0, faulty_attempts=1)
+        assert inj.decide(5, 0).kind == "error"
+        assert inj.decide(5, 1).kind == "none"
+
+    def test_scripted_overrides_rates(self):
+        inj = FaultInjector(seed=0, scripted={(3, 1): "hang"}, hang_s=9.0)
+        assert inj.decide(3, 0).kind == "none"
+        d = inj.decide(3, 1)
+        assert d.kind == "hang" and d.sleep_s == 9.0
+
+    def test_always_first_guarantees_a_fault(self):
+        inj = FaultInjector(seed=0, always_first="error")
+        assert inj.decide(0, 0).kind == "error"
+        assert inj.decide(1, 0).kind == "none"
+
+    def test_disarm_and_rearm(self):
+        inj = FaultInjector(seed=0, error_rate=1.0, always_first="error")
+        inj.disarm()
+        assert inj.decide(0, 0).kind == "none"
+        inj.note("error")
+        assert inj.injected == 1
+        inj.rearm()
+        assert inj.injected == 0
+        assert inj.decide(0, 0).kind == "error"
+
+
+class TestApplyFault:
+    def test_error_never_runs_the_task(self):
+        ran = []
+        with pytest.raises(InjectedFault):
+            _apply_fault(FaultDecision("error"), False, lambda: ran.append(1))
+        assert ran == []
+
+    def test_hang_never_runs_the_task(self):
+        ran = []
+        with pytest.raises(InjectedFault):
+            _apply_fault(
+                FaultDecision("hang", sleep_s=0.01), False,
+                lambda: ran.append(1),
+            )
+        assert ran == []
+
+    def test_death_without_pool_raises_simulated(self):
+        with pytest.raises(SimulatedWorkerDeath):
+            _apply_fault(FaultDecision("death"), False, lambda: 1)
+
+    def test_delay_runs_the_task(self):
+        assert _apply_fault(
+            FaultDecision("delay", sleep_s=0.0), False, lambda: 7
+        ) == 7
+
+
+class TestFaultyBackend:
+    def test_injects_into_batch(self):
+        inj = FaultInjector(seed=0, error_rate=1.0, faulty_attempts=1)
+        fb = FaultyBackend(SerialBackend(), inj)
+        with pytest.raises(BatchError) as exc_info:
+            fb.run_tasks([lambda: 1, lambda: 2])
+        assert exc_info.value.task_indices == (0, 1)
+        assert inj.injected == 2
+        fb.close()
+
+    def test_redispatch_of_same_callable_is_a_new_attempt(self):
+        inj = FaultInjector(seed=0, error_rate=1.0, faulty_attempts=1)
+        fb = FaultyBackend(SerialBackend(), inj)
+        task = lambda: 99  # noqa: E731
+        with pytest.raises(BatchError):
+            fb.run_tasks([task])
+        # Second dispatch of the same object = attempt 1 = clean.
+        assert fb.run_tasks([task])[0].value == 99
+        fb.close()
+
+    def test_reset_restarts_key_numbering(self):
+        inj = FaultInjector(seed=0, always_first="error")
+        fb = FaultyBackend(SerialBackend(), inj)
+        with pytest.raises(BatchError):
+            fb.run_tasks([lambda: 1])
+        assert fb.run_tasks([lambda: 2])[0].value == 2  # key 1: clean
+        fb.reset()
+        inj.rearm()
+        with pytest.raises(BatchError):  # key numbering restarted at 0
+            fb.run_tasks([lambda: 3])
+        fb.close()
+
+    def test_threads_inner(self):
+        inj = FaultInjector(seed=0, error_rate=1.0, faulty_attempts=1)
+        fb = FaultyBackend(ThreadBackend(max_workers=2), inj)
+        with pytest.raises(BatchError):
+            fb.run_tasks([lambda: 1, lambda: 2, lambda: 3])
+        fb.close()
