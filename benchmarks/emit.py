@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Standalone bench-regression emitter.
+
+Thin wrapper over :mod:`repro.obs.bench` so CI (and anyone without an
+installed package) can write a ``BENCH_<date>.json`` snapshot::
+
+    python benchmarks/emit.py --quick --out BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs.bench import write_bench_file
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.bench import write_bench_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, two thread counts")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_<date>.json)")
+    parser.add_argument("--seed", type=int, default=7)
+    ns = parser.parse_args(argv)
+    path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ Package map (see DESIGN.md for the full inventory):
   executors.
 * :mod:`repro.resilience` — fault injection, per-task retry/timeout,
   straggler speculation, graceful backend degradation.
+* :mod:`repro.obs` — unified tracing (Chrome-trace export) and metrics
+  registry; ``trace=`` / ``metrics=`` on every parallel entry point.
 * :mod:`repro.baselines` — related-work algorithms (Section V).
 * :mod:`repro.workloads` — seeded generators and adversarial inputs.
 * :mod:`repro.analysis` — speedup laws, complexity fits, tables.
@@ -69,6 +71,14 @@ from .core import (
 )
 from .verify import verify_merged, verify_partition, verify_sorted
 from .backends import get_backend, available_backends
+from .obs import (
+    Tracer,
+    MetricsRegistry,
+    LoadBalanceReport,
+    load_balance_from_trace,
+    write_chrome_trace,
+    flame_summary,
+)
 from .resilience import (
     RetryPolicy,
     ResilientBackend,
@@ -126,6 +136,12 @@ __all__ = [
     "verify_sorted",
     "get_backend",
     "available_backends",
+    "Tracer",
+    "MetricsRegistry",
+    "LoadBalanceReport",
+    "load_balance_from_trace",
+    "write_chrome_trace",
+    "flame_summary",
     "RetryPolicy",
     "ResilientBackend",
     "ExecutionTelemetry",

@@ -1,30 +1,57 @@
-"""Command-line entry point: ``python -m repro [EXP_ID ...]``.
+"""Command-line entry point: ``python -m repro SUBCOMMAND ...``.
 
-With no arguments, lists the available experiments.  With ids (or
-``all``), runs each and prints its table — the same rendering the
-benchmark harness and EXPERIMENTS.md use.
+Subcommands
+-----------
+run EXP_ID [EXP_ID ...]
+    Run experiments and print their tables (``all`` for every one).
+    ``--quick`` reduces sizes where an experiment distinguishes scales;
+    ``--chart`` renders FIG5 as a text bar chart.
+report
+    Run everything and emit a Markdown report (``--quick`` supported).
+selftest
+    Verify every implementation on an input grid.
+scorecard
+    Evaluate all 14 paper claims as PASS/FAIL.
+conformance
+    Differential-fuzz every implementation against the oracle
+    (``--quick`` | ``--full`` tiers; ``--chaos`` adds fault injection).
+api
+    Print the public-API index.
+trace EXP_ID
+    Run a traced workload and write a Chrome-trace JSON (load it at
+    ``chrome://tracing`` or https://ui.perfetto.dev).  Also prints a
+    flame summary, the per-worker load-balance report, and the metrics
+    snapshot.  ``--out trace.json`` chooses the path.
+bench
+    Run the regression bench suite and write ``BENCH_<date>.json``.
 
-Options
--------
---quick
-    Use reduced sizes where an experiment distinguishes scales
-    (currently FIG5's ``full`` flag).
---chart
-    For FIG5, additionally render the speedup series as a text bar
-    chart — the figure itself, not just its table.
+Unknown flags are an error (exit status 2 via argparse).  For
+backwards compatibility, bare experiment ids still work — ``python -m
+repro FIG5 --quick`` is rewritten to ``run FIG5 --quick`` — and the
+legacy flag-before-subcommand order (``--quick report``) is accepted.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
-from .analysis.figures import grouped_bar_chart
-from .analysis.tables import render_result
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .types import ExperimentResult
 
+#: Flags the pre-argparse era accepted anywhere on the line.
+_LEGACY_FLAGS = ("--quick", "--full", "--chart", "--chaos")
+
+_SUBCOMMANDS = (
+    "run", "report", "selftest", "scorecard", "conformance", "api",
+    "trace", "bench",
+)
+
 
 def _fig5_chart(result: ExperimentResult) -> str:
+    from .analysis.figures import grouped_bar_chart
+
     groups: dict[str, dict[str, float]] = {}
     for row in result.rows:
         group = f"p={row['p']}"
@@ -34,62 +61,107 @@ def _fig5_chart(result: ExperimentResult) -> str:
     return grouped_bar_chart(groups, width=48)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    quick = "--quick" in args
-    full = "--full" in args
-    chart = "--chart" in args
-    chaos = "--chaos" in args
-    args = [a for a in args if a not in ("--quick", "--full", "--chart", "--chaos")]
+def _print_listing() -> None:
+    print("usage: python -m repro SUBCOMMAND ... "
+          "(run | report | selftest | scorecard | conformance | api | "
+          "trace | bench)\n")
+    print("available experiments (python -m repro run EXP_ID ...):")
+    for exp_id, (_fn, desc) in EXPERIMENTS.items():
+        print(f"  {exp_id:<8} {desc}")
+    print("\n  report       run everything and emit a Markdown report")
+    print("  selftest     verify every implementation on an input grid")
+    print("  scorecard    evaluate all 14 paper claims as PASS/FAIL")
+    print("  conformance  differential-fuzz every implementation against")
+    print("               the oracle (--quick | --full tiers; --chaos adds")
+    print("               fault injection through the resilience layer)")
+    print("  api          print the public-API index")
+    print("  trace        capture a Chrome-trace of a workload "
+          "(--out trace.json)")
+    print("  bench        emit a BENCH_<date>.json regression snapshot")
 
-    if not args:
-        print("usage: python -m repro [--quick] [--chart] EXP_ID [EXP_ID ...]"
-              " | all | report | selftest | scorecard | conformance | api\n")
-        print("available experiments:")
-        for exp_id, (_fn, desc) in EXPERIMENTS.items():
-            print(f"  {exp_id:<8} {desc}")
-        print("\n  report       run everything and emit a Markdown report")
-        print("  selftest     verify every implementation on an input grid")
-        print("  scorecard    evaluate all 14 paper claims as PASS/FAIL")
-        print("  conformance  differential-fuzz every implementation against")
-        print("               the oracle (--quick | --full tiers; --chaos adds")
-        print("               fault injection through the resilience layer)")
-        print("  api          print the public-API index")
+
+def _normalize(argv: list[str]) -> list[str]:
+    """Rewrite legacy invocations into subcommand form.
+
+    * flags before the subcommand move after it (``--quick report`` ->
+      ``report --quick``);
+    * a bare experiment id (or ``all``) gets ``run`` prefixed
+      (``FIG5 --quick`` -> ``run FIG5 --quick``).
+    """
+    flags = [a for a in argv if a in _LEGACY_FLAGS]
+    rest = [a for a in argv if a not in _LEGACY_FLAGS]
+    if not rest:
+        return []
+    head = rest[0].lower()
+    if head in _SUBCOMMANDS:
+        return [head] + rest[1:] + flags
+    return ["run"] + rest + flags
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Merge Path reproduction: experiments, verification, "
+                    "observability.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run experiments and print tables")
+    p_run.add_argument("ids", nargs="*", metavar="EXP_ID",
+                       help="experiment ids, or 'all'")
+    p_run.add_argument("--quick", action="store_true",
+                       help="reduced sizes where supported (FIG5)")
+    p_run.add_argument("--full", action="store_true",
+                       help=argparse.SUPPRESS)
+    p_run.add_argument("--chart", action="store_true",
+                       help="render FIG5 as a text bar chart")
+
+    p_report = sub.add_parser("report", help="emit the Markdown report")
+    p_report.add_argument("--quick", action="store_true")
+    p_report.add_argument("--full", action="store_true",
+                          help=argparse.SUPPRESS)
+
+    sub.add_parser("selftest", help="verify every implementation")
+    sub.add_parser("scorecard", help="evaluate the paper-claim scorecard")
+    sub.add_parser("api", help="print the public-API index")
+
+    p_conf = sub.add_parser("conformance",
+                            help="differential-fuzz against the oracle")
+    p_conf.add_argument("--quick", action="store_true")
+    p_conf.add_argument("--full", action="store_true")
+    p_conf.add_argument("--chaos", action="store_true",
+                        help="add fault injection via the resilience layer")
+
+    p_trace = sub.add_parser(
+        "trace", help="capture a Chrome-trace JSON of a traced workload")
+    p_trace.add_argument("exp_id", metavar="EXP_ID",
+                         help="traceable workload id (fig5, spm, sort, "
+                              "cachesort, lb)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json)")
+    p_trace.add_argument("--quick", action="store_true",
+                         help="smaller inputs, fewer thread counts")
+    p_trace.add_argument("--full", action="store_true",
+                         help=argparse.SUPPRESS)
+    p_trace.add_argument("--seed", type=int, default=7)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the regression bench suite, write BENCH JSON")
+    p_bench.add_argument("--quick", action="store_true")
+    p_bench.add_argument("--full", action="store_true",
+                         help=argparse.SUPPRESS)
+    p_bench.add_argument("--out", default=None,
+                         help="output path (default: BENCH_<date>.json)")
+    p_bench.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    if not ns.ids:
+        _print_listing()
         return 0
-
-    if args == ["conformance"]:
-        from .conformance import render_report, run_conformance
-
-        report = run_conformance("full" if full else "quick", chaos=chaos)
-        print(render_report(report))
-        return 0 if report.ok else 1
-
-    if args == ["report"]:
-        from .analysis.report import generate_report
-
-        print(generate_report(quick=quick))
-        return 0
-
-    if args == ["selftest"]:
-        from .selftest import run_selftest
-
-        failures = run_selftest()
-        return 1 if failures else 0
-
-    if args == ["api"]:
-        from .apidoc import render_api_index
-
-        print(render_api_index())
-        return 0
-
-    if args == ["scorecard"]:
-        from .scorecard import evaluate_claims, render_scorecard
-
-        results = evaluate_claims()
-        print(render_scorecard(results))
-        return 0 if all(ok for _, ok in results) else 1
-
-    ids = list(EXPERIMENTS) if args == ["all"] else [a.upper() for a in args]
+    ids = list(EXPERIMENTS) if ns.ids == ["all"] else [a.upper() for a in ns.ids]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         print(f"error: unknown experiment id(s): {', '.join(unknown)}",
@@ -98,15 +170,99 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for exp_id in ids:
         kwargs: dict[str, object] = {}
-        if quick and exp_id == "FIG5":
+        if ns.quick and exp_id == "FIG5":
             kwargs["full"] = False
         result = run_experiment(exp_id, **kwargs)
+        from .analysis.tables import render_result
+
         print(render_result(result))
-        if chart and exp_id == "FIG5":
+        if ns.chart and exp_id == "FIG5":
             print()
             print("Figure 5 (speedup bars, grouped by thread count):")
             print(_fig5_chart(result))
         print()
+    return 0
+
+
+def _cmd_trace(ns: argparse.Namespace) -> int:
+    from .errors import InputError
+    from .obs.capture import trace_workload
+    from .obs.export import flame_summary, write_chrome_trace
+    from .obs.balance import load_balance_from_trace
+
+    try:
+        capture = trace_workload(ns.exp_id, quick=ns.quick, seed=ns.seed)
+    except InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_chrome_trace(capture.tracer, ns.out)
+    for note in capture.notes:
+        print(f"# {note}")
+    print(f"wrote Chrome trace to {ns.out} "
+          "(load at chrome://tracing or https://ui.perfetto.dev)\n")
+    print(flame_summary(capture.tracer))
+    print()
+    print(load_balance_from_trace(capture.tracer).describe())
+    print()
+    print("metrics snapshot:")
+    print(json.dumps(capture.metrics.snapshot(), indent=2))
+    return 0
+
+
+def _cmd_bench(ns: argparse.Namespace) -> int:
+    from .obs.bench import write_bench_file
+
+    path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    print(f"wrote {len(doc['results'])} bench rows to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    argv = _normalize(argv)
+    if not argv:
+        _print_listing()
+        return 0
+
+    ns = _build_parser().parse_args(argv)
+
+    if ns.command == "run":
+        return _cmd_run(ns)
+    if ns.command == "report":
+        from .analysis.report import generate_report
+
+        print(generate_report(quick=ns.quick))
+        return 0
+    if ns.command == "selftest":
+        from .selftest import run_selftest
+
+        failures = run_selftest()
+        return 1 if failures else 0
+    if ns.command == "scorecard":
+        from .scorecard import evaluate_claims, render_scorecard
+
+        results = evaluate_claims()
+        print(render_scorecard(results))
+        return 0 if all(ok for _, ok in results) else 1
+    if ns.command == "conformance":
+        from .conformance import render_report, run_conformance
+
+        report = run_conformance("full" if ns.full else "quick",
+                                 chaos=ns.chaos)
+        print(render_report(report))
+        return 0 if report.ok else 1
+    if ns.command == "api":
+        from .apidoc import render_api_index
+
+        print(render_api_index())
+        return 0
+    if ns.command == "trace":
+        return _cmd_trace(ns)
+    if ns.command == "bench":
+        return _cmd_bench(ns)
+    _print_listing()  # pragma: no cover - unreachable via _normalize
     return 0
 
 

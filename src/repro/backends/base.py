@@ -41,6 +41,12 @@ class Backend(abc.ABC):
     #: Registry name; subclasses override.
     name: str = "abstract"
 
+    #: Optional :class:`repro.obs.Tracer`; when set, every task executed
+    #: through :meth:`_attempt`/:meth:`_timed` is wrapped in a
+    #: ``backend.task`` span recorded on the worker thread that ran it.
+    #: ``None`` (the class default) costs nothing on the hot path.
+    tracer = None
+
     @abc.abstractmethod
     def run_tasks(
         self, tasks: Sequence[Callable[[], Any]]
@@ -71,23 +77,29 @@ class Backend(abc.ABC):
         results = self.run_tasks([(lambda it=item: fn(it)) for item in items])
         return [r.value for r in results]
 
-    @staticmethod
-    def _timed(index: int, task: Callable[[], Any]) -> TaskResult:
+    def _run_body(self, index: int, task: Callable[[], Any]) -> Any:
+        """Execute the task body, under a ``backend.task`` span if traced."""
+        tracer = self.tracer
+        if tracer is None:
+            return task()
+        with tracer.span("backend.task", index=index, backend=self.name):
+            return task()
+
+    def _timed(self, index: int, task: Callable[[], Any]) -> TaskResult:
         t0 = time.perf_counter()
         try:
-            value = task()
+            value = self._run_body(index, task)
         except Exception as exc:  # noqa: BLE001 - uniformly wrapped
             raise BackendError(f"task {index} failed: {exc!r}") from exc
         return TaskResult(index=index, value=value, elapsed_s=time.perf_counter() - t0)
 
-    @staticmethod
     def _attempt(
-        index: int, task: Callable[[], Any]
+        self, index: int, task: Callable[[], Any]
     ) -> tuple[TaskResult | None, TaskFailure | None]:
         """Run one task, classifying rather than raising its failure."""
         t0 = time.perf_counter()
         try:
-            value = task()
+            value = self._run_body(index, task)
         except Exception as exc:  # noqa: BLE001 - collected into BatchError
             return None, TaskFailure(
                 index=index, kind="exception", message=repr(exc), error=exc

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..backends.base import Backend
 from ..errors import BackendError, BatchError
+from ..obs import MetricsRegistry
 from ..resilience import (
     DegradationWarning,
     DegradingBackend,
@@ -88,6 +89,11 @@ class ChaosBackendCache(BackendCache):
         self._seed = seed
         self._wrapped: dict[str, tuple[FaultyBackend, FaultInjector,
                                        ResilientBackend]] = {}
+        #: Unified metrics registry: every wrapped backend's telemetry
+        #: emits its recovery counters here, so the chaos verdict
+        #: deltas come from the same counting path the rest of the
+        #: observability layer uses.
+        self.metrics = MetricsRegistry()
 
     def _configure(self, name: str) -> tuple[FaultInjector, RetryPolicy]:
         seed = _chaos_seed(self._seed, name)
@@ -137,6 +143,7 @@ class ChaosBackendCache(BackendCache):
             injector, policy = self._configure(name)
             faulty = FaultyBackend(real, injector)
             resilient = ResilientBackend(faulty, policy, owns_inner=False)
+            resilient.telemetry.bind(self.metrics)
             entry = (faulty, injector, resilient)
             self._wrapped[name] = entry
         return entry[2]
@@ -152,14 +159,18 @@ class ChaosBackendCache(BackendCache):
             injector.disarm()
 
     def snapshot(self) -> dict[str, int]:
-        """Cumulative injection + recovery counters across all backends."""
+        """Cumulative injection + recovery counters across all backends.
+
+        Recovery counts are read off the unified metrics registry every
+        wrapped backend's telemetry emits into (``resilience.*``
+        counters) — the same numbers ``parallel_merge(metrics=...)``
+        exposes — so there is no chaos-private counting path.
+        """
         counts = {"injected": 0}
-        for key in _TELEMETRY_KEYS:
-            counts[key] = 0
-        for _faulty, injector, resilient in self._wrapped.values():
+        for _faulty, injector, _resilient in self._wrapped.values():
             counts["injected"] += injector.injected
-            for key in _TELEMETRY_KEYS:
-                counts[key] += getattr(resilient.telemetry, key)
+        for key in _TELEMETRY_KEYS:
+            counts[key] = int(self.metrics.value(f"resilience.{key}"))
         return counts
 
     def close(self) -> None:

@@ -14,7 +14,7 @@ Three stages, exactly as the paper lays them out:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from ..types import MergeStats
 from ..validation import as_array, check_positive
 from .merge_sort import parallel_merge_sort
 from .segmented_merge import block_length, segmented_parallel_merge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Tracer
 
 __all__ = ["cache_efficient_sort"]
 
@@ -36,6 +39,8 @@ def cache_efficient_sort(
     kernel: str = "vectorized",
     block_fraction: int = 3,
     stats: MergeStats | None = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> np.ndarray:
     """Sort ``x`` with ``p`` processors and a ``C``-element cache budget.
 
@@ -53,7 +58,14 @@ def cache_efficient_sort(
     block_fraction:
         The ``C/3`` divisor, exposed for the sizing ablation.
     stats:
-        Optional operation counter covering the merge work.
+        Optional operation counter covering the merge work — the same
+        ``MergeStats``-shaped sink every other entry point takes (pass
+        ``MetricsRegistry.merge_stats()`` to count straight into the
+        unified registry).
+    trace, metrics:
+        Optional :class:`~repro.obs.Tracer` /
+        :class:`~repro.obs.MetricsRegistry`, forwarded to the
+        stage 2 parallel sorts and stage 3 segmented merges.
 
     Returns
     -------
@@ -76,7 +88,8 @@ def cache_efficient_sort(
         for lo in range(0, n, L):
             chunk = arr[lo : lo + L]
             runs.append(
-                parallel_merge_sort(chunk, p, backend=be, kernel=kernel, stats=stats)
+                parallel_merge_sort(chunk, p, backend=be, kernel=kernel,
+                                    stats=stats, trace=trace, metrics=metrics)
             )
 
         # Stage 3: binary tree of segmented (cache-efficient) merges.
@@ -92,6 +105,8 @@ def cache_efficient_sort(
                     kernel=kernel,
                     check=False,
                     stats=stats,
+                    trace=trace,
+                    metrics=metrics,
                 )
                 next_runs.append(merged)
             if len(runs) % 2:

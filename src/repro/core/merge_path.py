@@ -23,13 +23,17 @@ the package (a down move on ``A[i] <= B[j]``, per Section II.A).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import InputError
+from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats, Partition, PathPoint, Segment
 from ..validation import as_array, check_mergeable, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import Tracer
 
 __all__ = [
     "diagonal_bounds",
@@ -95,7 +99,10 @@ def diagonal_intersection(
 
 
 def diagonal_intersections_vectorized(
-    a: np.ndarray, b: np.ndarray, diagonals: Sequence[int] | np.ndarray
+    a: np.ndarray,
+    b: np.ndarray,
+    diagonals: Sequence[int] | np.ndarray,
+    stats: MergeStats | None = None,
 ) -> np.ndarray:
     """Find intersections with many diagonals at once, vectorized.
 
@@ -103,6 +110,11 @@ def diagonal_intersections_vectorized(
     fancy-indexing comparison per bisection round, ``ceil(log2)`` rounds
     total.  This mirrors how the p processors of Algorithm 1 search their
     diagonals concurrently, and is the production path for large ``p``.
+
+    When ``stats`` is given, ``stats.search_probes`` counts the element
+    comparisons actually performed (active searches per round), the same
+    quantity the scalar search counts — so probe accounting holds in
+    both modes.
 
     Returns an int64 array ``i`` of A-consumed counts, one per diagonal
     (``j = d - i``).
@@ -120,6 +132,8 @@ def diagonal_intersections_vectorized(
         active = lo < hi
         if not active.any():
             break
+        if stats is not None:
+            stats.search_probes += int(active.sum())
         mid = (lo + hi) // 2
         am = np.where(active, mid, 0)
         bm = np.where(active, ds - 1 - mid, 0)
@@ -139,6 +153,7 @@ def partition_at_positions(
     check: bool = True,
     vectorized: bool = True,
     stats: MergeStats | None = None,
+    tracer: "Tracer | None" = None,
 ) -> Partition:
     """Partition the merge path at arbitrary output positions.
 
@@ -147,6 +162,10 @@ def partition_at_positions(
     :class:`~repro.types.Partition` whose segment boundaries are the
     merge path's intersections with the grid diagonals at those
     positions (Theorem 9: output position == diagonal index).
+
+    ``stats.search_probes`` counts actual probes in both scalar and
+    vectorized modes; ``tracer`` records one ``partition.search`` span
+    covering the whole search (the lockstep searches are one phase).
     """
     a = as_array(a, "A")
     b = as_array(b, "B")
@@ -159,21 +178,31 @@ def partition_at_positions(
     if any(q2 <= q1 for q1, q2 in zip(pos, pos[1:])):
         raise InputError("cut positions must be strictly increasing")
 
-    search_steps: list[int] = []
-    if vectorized and pos:
-        ivals = diagonal_intersections_vectorized(a, b, pos)
-        points = [PathPoint(int(i), int(d - i)) for i, d in zip(ivals, pos)]
-        # the lockstep search costs the same bound per diagonal
-        bound = max_search_steps(len(a), len(b))
-        search_steps = [bound] * len(pos)
-    else:
-        points = []
-        for d in pos:
-            local = MergeStats()
-            points.append(diagonal_intersection(a, b, d, stats=local))
-            search_steps.append(local.search_probes)
-            if stats is not None:
-                stats.merge(local)
+    span = (
+        tracer.span("partition.search", diagonals=len(pos), a_len=len(a),
+                    b_len=len(b), vectorized=bool(vectorized))
+        if tracer is not None
+        else NULL_SPAN
+    )
+    with span:
+        search_steps: list[int] = []
+        probes = MergeStats()
+        if vectorized and pos:
+            ivals = diagonal_intersections_vectorized(a, b, pos, stats=probes)
+            points = [PathPoint(int(i), int(d - i)) for i, d in zip(ivals, pos)]
+            # the lockstep search costs the same bound per diagonal
+            bound = max_search_steps(len(a), len(b))
+            search_steps = [bound] * len(pos)
+        else:
+            points = []
+            for d in pos:
+                local = MergeStats()
+                points.append(diagonal_intersection(a, b, d, stats=local))
+                search_steps.append(local.search_probes)
+                probes.merge(local)
+        if stats is not None:
+            stats.merge(probes)
+        span.set(probes=probes.search_probes)
 
     bounds = [PathPoint(0, 0), *points, PathPoint(len(a), len(b))]
     segments = tuple(
@@ -204,6 +233,7 @@ def partition_merge_path(
     check: bool = True,
     vectorized: bool = True,
     stats: MergeStats | None = None,
+    tracer: "Tracer | None" = None,
 ) -> Partition:
     """Split the merge of ``a`` and ``b`` into ``p`` equisized segments.
 
@@ -224,7 +254,13 @@ def partition_merge_path(
         Use the lockstep multi-diagonal search (default) instead of one
         scalar binary search per diagonal.
     stats:
-        Optional counter sink for search probes (scalar mode only).
+        Optional counter sink for search probes (honored in both scalar
+        and vectorized modes; pass
+        ``MetricsRegistry.merge_stats()`` to route the counts into the
+        unified metrics registry).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; records one
+        ``partition.search`` span with diagonal and probe counts.
 
     Returns
     -------
@@ -253,7 +289,8 @@ def partition_merge_path(
     raw = [(k * n) // p for k in range(1, p)]
     unique = sorted({q for q in raw if 0 < q < n})
     part = partition_at_positions(
-        a, b, unique, check=False, vectorized=vectorized, stats=stats
+        a, b, unique, check=False, vectorized=vectorized, stats=stats,
+        tracer=tracer,
     )
     point_at = {0: PathPoint(0, 0), n: PathPoint(len(a), len(b))}
     for q, seg in zip(unique, part.segments):

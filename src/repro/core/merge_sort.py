@@ -20,12 +20,20 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..backends import Backend
+from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats
 from ..validation import as_array, check_positive
 from .merge_path import partition_merge_path
-from .parallel_merge import _flush_telemetry, _resolve_execution, merge_partition
+from .parallel_merge import (
+    _TracerScope,
+    _flush_telemetry,
+    _resolve_execution,
+    _snapshot,
+    merge_partition,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Tracer
     from ..resilience import ExecutionTelemetry, RetryPolicy
 
 __all__ = ["parallel_merge_sort", "merge_sort_rounds", "RoundInfo"]
@@ -82,6 +90,8 @@ def parallel_merge_sort(
     stats: MergeStats | None = None,
     resilience: "RetryPolicy | bool | None" = None,
     telemetry: "ExecutionTelemetry | None" = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> np.ndarray:
     """Sort ``x`` with ``p`` processors using merge-path merges.
 
@@ -109,6 +119,14 @@ def parallel_merge_sort(
     telemetry:
         Optional :class:`~repro.resilience.ExecutionTelemetry` sink
         collecting the supervision record of all rounds.
+    trace:
+        Optional :class:`~repro.obs.Tracer`; records a ``sort.round``
+        span per round (round 0 = chunk sorts) enclosing the rounds'
+        ``partition.search`` / ``segment.merge`` / ``backend.task``
+        spans.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving kernel
+        counts (``merge.*``), ``sort.rounds`` and load-balance gauges.
 
     Returns
     -------
@@ -121,41 +139,75 @@ def parallel_merge_sort(
     if n <= 1:
         return arr
 
-    be, owned, t_start = _resolve_execution(backend, p, resilience, telemetry)
+    local_stats = stats
+    if metrics is not None and local_stats is None:
+        local_stats = MergeStats()
+    before = _snapshot(local_stats)
+
+    be, owned, t_start = _resolve_execution(
+        backend, p, resilience, telemetry, metrics
+    )
     try:
-        # --- Round 0: independent chunk sorts, one chunk per processor.
-        chunks = min(p, n)
-        bounds = [(k * n) // chunks for k in range(chunks + 1)]
-        runs: list[np.ndarray] = [
-            arr[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
-        ]
+        with _TracerScope(be, trace):
+            # --- Round 0: independent chunk sorts, one per processor.
+            chunks = min(p, n)
+            bounds = [(k * n) // chunks for k in range(chunks + 1)]
+            runs: list[np.ndarray] = [
+                arr[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+            ]
 
-        def sort_chunk(chunk: np.ndarray) -> np.ndarray:
-            if base_sort == "numpy":
-                return np.sort(chunk, kind="mergesort")  # stable, like ours
-            return _sequential_merge_sort(chunk, stats)
+            def sort_chunk(chunk: np.ndarray) -> np.ndarray:
+                if base_sort == "numpy":
+                    return np.sort(chunk, kind="mergesort")  # stable, like ours
+                return _sequential_merge_sort(chunk, local_stats)
 
-        runs = be.map(sort_chunk, runs)
+            span0 = (
+                trace.span("sort.round", round=0, pairs=0, chunks=len(runs),
+                           run_length=(n + chunks - 1) // chunks)
+                if trace is not None
+                else NULL_SPAN
+            )
+            with span0:
+                runs = be.map(sort_chunk, runs)
 
-        # --- Merge rounds: pair adjacent runs until one remains.
-        while len(runs) > 1:
-            procs_per_pair = max(1, p // (len(runs) // 2))
-            next_runs: list[np.ndarray] = []
-            # Merge pairs; an odd run out is carried to the next round.
-            for i in range(0, len(runs) - 1, 2):
-                a, b = runs[i], runs[i + 1]
-                part = partition_merge_path(a, b, procs_per_pair, check=False,
-                                            stats=stats)
-                merged = merge_partition(
-                    a, b, part, backend=be, kernel=kernel, stats=stats
+            # --- Merge rounds: pair adjacent runs until one remains.
+            round_index = 1
+            while len(runs) > 1:
+                procs_per_pair = max(1, p // (len(runs) // 2))
+                round_span = (
+                    trace.span("sort.round", round=round_index,
+                               pairs=len(runs) // 2,
+                               procs_per_pair=procs_per_pair)
+                    if trace is not None
+                    else NULL_SPAN
                 )
-                next_runs.append(merged)
-            if len(runs) % 2:
-                next_runs.append(runs[-1])
-            runs = next_runs
-        return runs[0]
+                with round_span:
+                    next_runs: list[np.ndarray] = []
+                    # Merge pairs; an odd run out carries to next round.
+                    for i in range(0, len(runs) - 1, 2):
+                        a, b = runs[i], runs[i + 1]
+                        part = partition_merge_path(
+                            a, b, procs_per_pair, check=False,
+                            stats=local_stats, tracer=trace,
+                        )
+                        merged = merge_partition(
+                            a, b, part, backend=be, kernel=kernel,
+                            stats=local_stats, trace=trace, metrics=metrics,
+                        )
+                        next_runs.append(merged)
+                    if len(runs) % 2:
+                        next_runs.append(runs[-1])
+                    runs = next_runs
+                if metrics is not None:
+                    metrics.counter("sort.rounds").inc()
+                round_index += 1
+            return runs[0]
     finally:
         _flush_telemetry(be, t_start, telemetry)
+        if metrics is not None:
+            metrics.counter("sort.calls").inc()
+            if local_stats is not None:
+                metrics.record_merge_delta(before, local_stats)
         if owned:
             be.close()
 

@@ -26,15 +26,56 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from ..backends import Backend, get_backend
+from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats, Partition
 from ..validation import as_array, check_mergeable, check_positive
 from .merge_path import partition_merge_path
 from .sequential import merge_into, result_dtype
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Tracer
     from ..resilience import ExecutionTelemetry, RetryPolicy
 
 __all__ = ["parallel_merge", "merge", "merge_partition"]
+
+
+class _TracerScope:
+    """Temporarily install a tracer on a backend (and its inner chain).
+
+    Backends carry an optional ``tracer`` attribute consulted on every
+    task execution; entry points install the caller's tracer for the
+    duration of the call and restore the previous state afterwards, so
+    a pooled backend shared across calls is never left traced.
+    """
+
+    def __init__(self, backend: Backend, tracer: "Tracer | None") -> None:
+        self._saved: list[tuple[Backend, object]] = []
+        if tracer is None:
+            return
+        seen: set[int] = set()
+        be: object = backend
+        while isinstance(be, Backend) and id(be) not in seen:
+            seen.add(id(be))
+            self._saved.append((be, be.__dict__.get("tracer", _TracerScope)))
+            be.tracer = tracer
+            be = getattr(be, "inner", None)
+
+    def __enter__(self) -> "_TracerScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for be, prev in self._saved:
+            if prev is _TracerScope:  # attribute was absent (class default)
+                be.__dict__.pop("tracer", None)
+            else:
+                be.tracer = prev
+
+
+def _snapshot(stats: MergeStats | None) -> tuple[int, int, int]:
+    """Field snapshot used to flush only this call's delta to metrics."""
+    if stats is None:
+        return (0, 0, 0)
+    return (stats.comparisons, stats.moves, stats.search_probes)
 
 
 def merge_partition(
@@ -45,6 +86,8 @@ def merge_partition(
     backend: Backend,
     kernel: str = "vectorized",
     stats: MergeStats | None = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> np.ndarray:
     """Execute the merge phase of Algorithm 1 over a ready partition.
 
@@ -58,10 +101,22 @@ def merge_partition(
     ``merge_partition(a, b, partition)`` hook (see
     :class:`repro.backends.Backend`); it is probed first and a
     non-``None`` return is the result.  The hook path uses the
-    vectorized kernel and does not feed ``stats``.
+    vectorized kernel and does not feed ``stats``; when ``trace`` is
+    given the hook is skipped so every segment yields a
+    ``segment.merge`` span on the worker that ran it.
+
+    ``metrics`` publishes the Theorem 14 load-balance gauges
+    (``balance.work_spread`` from the partition,
+    ``balance.task_time_imbalance`` from measured per-task times) and
+    counts dispatched segments.
     """
+    if metrics is not None:
+        metrics.counter("merge.segments").inc(
+            sum(1 for seg in partition.segments if seg.length > 0)
+        )
+        metrics.gauge("balance.work_spread").set(partition.max_imbalance)
     fast_path = getattr(backend, "merge_partition", None)
-    if fast_path is not None:
+    if fast_path is not None and trace is None:
         merged = fast_path(a, b, partition)
         if merged is not None:
             return merged
@@ -73,13 +128,29 @@ def merge_partition(
 
     def make_task(seg, seg_stats):
         def task() -> None:
-            merge_into(
-                out[seg.out_start : seg.out_end],
-                a[seg.a_start : seg.a_end],
-                b[seg.b_start : seg.b_end],
-                kernel=kernel,
-                stats=seg_stats,
+            span = (
+                trace.span(
+                    "segment.merge",
+                    index=seg.index,
+                    a_start=seg.a_start, a_end=seg.a_end,
+                    b_start=seg.b_start, b_end=seg.b_end,
+                    out_start=seg.out_start, out_end=seg.out_end,
+                    length=seg.length,
+                )
+                if trace is not None
+                else NULL_SPAN
             )
+            with span:
+                merge_into(
+                    out[seg.out_start : seg.out_end],
+                    a[seg.a_start : seg.a_end],
+                    b[seg.b_start : seg.b_end],
+                    kernel=kernel,
+                    stats=seg_stats,
+                )
+                if seg_stats is not None:
+                    span.set(comparisons=seg_stats.comparisons,
+                             moves=seg_stats.moves)
 
         return task
 
@@ -88,11 +159,16 @@ def merge_partition(
         for seg, st in zip(partition.segments, per_task_stats)
         if seg.length > 0
     ]
-    backend.run_tasks(tasks)  # blocks: the Algorithm 1 barrier
+    results = backend.run_tasks(tasks)  # blocks: the Algorithm 1 barrier
     if stats is not None:
         for st in per_task_stats:
             if st is not None:
                 stats.merge(st)
+    if metrics is not None and results:
+        times = [r.elapsed_s for r in results]
+        mean = sum(times) / len(times)
+        if mean > 0:
+            metrics.gauge("balance.task_time_imbalance").set(max(times) / mean)
     return out
 
 
@@ -101,6 +177,7 @@ def _resolve_execution(
     p: int,
     resilience: "RetryPolicy | bool | None",
     telemetry: "ExecutionTelemetry | None",
+    metrics: "MetricsRegistry | None" = None,
 ) -> tuple[Backend, bool, int]:
     """Shared backend setup for the parallel entry points.
 
@@ -108,6 +185,11 @@ def _resolve_execution(
     resiliently wrapped) backend, whether the caller must close it, and
     how many telemetry batches it had already recorded (so only this
     call's batches are copied into the caller's sink afterwards).
+
+    When ``metrics`` is given, any telemetry sink on the resolved
+    backend that is not already bound to a registry is bound to it, so
+    resilience counters (retries, timeouts, speculations, ...) land in
+    the same unified registry as the kernel counts.
     """
     owned = isinstance(backend, str)
     be = get_backend(backend, max_workers=p) if owned else backend
@@ -120,6 +202,8 @@ def _resolve_execution(
         if telemetry is not None:
             be.telemetry = telemetry
     sink = getattr(be, "telemetry", None)
+    if metrics is not None and sink is not None and sink.metrics is None:
+        sink.metrics = metrics
     start = len(sink.batches) if sink is not None else 0
     return be, owned, start
 
@@ -147,6 +231,8 @@ def parallel_merge(
     stats: MergeStats | None = None,
     resilience: "RetryPolicy | bool | None" = None,
     telemetry: "ExecutionTelemetry | None" = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> np.ndarray:
     """Merge two sorted arrays with ``p`` processors (Algorithm 1).
 
@@ -186,6 +272,16 @@ def parallel_merge(
         return it holds the retry/timeout/speculation record of every
         supervised batch this call ran (requires ``resilience`` or an
         already-resilient ``backend``).
+    trace:
+        Optional :class:`~repro.obs.Tracer`; records ``partition.search``,
+        ``segment.merge`` and ``backend.task`` spans for this call
+        (export with :func:`repro.obs.write_chrome_trace`).  ``None``
+        (the default) allocates no span objects at all.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; receives this
+        call's kernel operation counts (``merge.*``), segment counts and
+        the Theorem 14 load-balance gauges (``balance.*``), plus
+        resilience counters when a supervised backend is in play.
 
     Returns
     -------
@@ -200,17 +296,30 @@ def parallel_merge(
     if check:
         check_mergeable(a, b)
 
+    local_stats = stats
+    if metrics is not None and local_stats is None:
+        local_stats = MergeStats()
+    before = _snapshot(local_stats)
+
     partition = partition_merge_path(
-        a, b, p * oversubscribe, check=False, stats=stats
+        a, b, p * oversubscribe, check=False, stats=local_stats, tracer=trace
     )
 
-    be, owned, t_start = _resolve_execution(backend, p, resilience, telemetry)
+    be, owned, t_start = _resolve_execution(
+        backend, p, resilience, telemetry, metrics
+    )
     try:
-        return merge_partition(
-            a, b, partition, backend=be, kernel=kernel, stats=stats
-        )
+        with _TracerScope(be, trace):
+            return merge_partition(
+                a, b, partition, backend=be, kernel=kernel, stats=local_stats,
+                trace=trace, metrics=metrics,
+            )
     finally:
         _flush_telemetry(be, t_start, telemetry)
+        if metrics is not None:
+            metrics.counter("merge.calls").inc()
+            if local_stats is not None:
+                metrics.record_merge_delta(before, local_stats)
         if owned:
             be.close()
 

@@ -19,16 +19,21 @@ exact access pattern through the cache simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
 from ..backends import Backend, get_backend
 from ..errors import InputError
+from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats, Partition, Segment
 from ..validation import as_array, check_mergeable, check_positive
 from .merge_path import diagonal_intersection, partition_merge_path
+from .parallel_merge import _TracerScope, _snapshot
 from .sequential import merge_into, result_dtype
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Tracer
 
 __all__ = ["BlockPlan", "plan_segments", "segmented_parallel_merge", "block_length"]
 
@@ -125,6 +130,8 @@ def segmented_parallel_merge(
     kernel: str = "vectorized",
     check: bool = True,
     stats: MergeStats | None = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> np.ndarray:
     """Merge with Algorithm 2: serial cache-sized blocks, parallel inside.
 
@@ -132,6 +139,12 @@ def segmented_parallel_merge(
     must be given.  Semantics (output, stability) are identical to
     :func:`repro.core.parallel_merge.parallel_merge`; only the memory
     access schedule differs.
+
+    ``trace`` records one ``spm.block`` span per cache block (with the
+    block's refill amounts) plus the usual ``segment.merge`` /
+    ``backend.task`` spans inside it; ``metrics`` counts blocks
+    (``spm.blocks``), observes each block's A-consumption share
+    (histogram ``spm.block_a_share``) and accumulates kernel counts.
     """
     if (cache_elements is None) == (L is None):
         raise InputError("pass exactly one of cache_elements= or L=")
@@ -145,40 +158,81 @@ def segmented_parallel_merge(
     if check:
         check_mergeable(a, b)
 
+    local_stats = stats
+    if metrics is not None and local_stats is None:
+        local_stats = MergeStats()
+    before = _snapshot(local_stats)
+
     out = np.empty(len(a) + len(b), dtype=result_dtype(a, b))
     own_backend = isinstance(backend, str)
     be = get_backend(backend, max_workers=p) if own_backend else backend
 
     def make_task(block: Segment, seg: Segment, seg_stats: MergeStats | None):
         def task() -> None:
-            merge_into(
-                out[block.out_start + seg.out_start : block.out_start + seg.out_end],
-                a[block.a_start + seg.a_start : block.a_start + seg.a_end],
-                b[block.b_start + seg.b_start : block.b_start + seg.b_end],
-                kernel=kernel,
-                stats=seg_stats,
+            span = (
+                trace.span(
+                    "segment.merge",
+                    index=seg.index, block=block.index,
+                    out_start=block.out_start + seg.out_start,
+                    out_end=block.out_start + seg.out_end,
+                    length=seg.length,
+                )
+                if trace is not None
+                else NULL_SPAN
             )
+            with span:
+                merge_into(
+                    out[block.out_start + seg.out_start : block.out_start + seg.out_end],
+                    a[block.a_start + seg.a_start : block.a_start + seg.a_end],
+                    b[block.b_start + seg.b_start : block.b_start + seg.b_end],
+                    kernel=kernel,
+                    stats=seg_stats,
+                )
 
         return task
 
     try:
-        for plan in plan_segments(a, b, p, L, check=False):
-            per_seg_stats = [
-                MergeStats() if stats is not None else None
-                for _ in plan.partition.segments
-            ]
-            tasks = [
-                make_task(plan.block, seg, st)
-                for seg, st in zip(plan.partition.segments, per_seg_stats)
-                if seg.length > 0
-            ]
-            if tasks:
-                be.run_tasks(tasks)  # per-block barrier (step 3 of Algorithm 2)
-            if stats is not None:
-                for st in per_seg_stats:
-                    if st is not None:
-                        stats.merge(st)
+        with _TracerScope(be, trace):
+            for plan in plan_segments(a, b, p, L, check=False):
+                block = plan.block
+                block_span = (
+                    trace.span(
+                        "spm.block",
+                        index=block.index,
+                        out_start=block.out_start, out_end=block.out_end,
+                        a_consumed=block.a_len, b_consumed=block.b_len,
+                    )
+                    if trace is not None
+                    else NULL_SPAN
+                )
+                with block_span:
+                    per_seg_stats = [
+                        MergeStats() if local_stats is not None else None
+                        for _ in plan.partition.segments
+                    ]
+                    tasks = [
+                        make_task(block, seg, st)
+                        for seg, st in zip(plan.partition.segments, per_seg_stats)
+                        if seg.length > 0
+                    ]
+                    if tasks:
+                        # per-block barrier (step 3 of Algorithm 2)
+                        be.run_tasks(tasks)
+                    if local_stats is not None:
+                        for st in per_seg_stats:
+                            if st is not None:
+                                local_stats.merge(st)
+                if metrics is not None:
+                    metrics.counter("spm.blocks").inc()
+                    if block.length > 0:
+                        metrics.histogram("spm.block_a_share").observe(
+                            block.a_len / block.length
+                        )
     finally:
+        if metrics is not None:
+            metrics.counter("spm.calls").inc()
+            if local_stats is not None:
+                metrics.record_merge_delta(before, local_stats)
         if own_backend:
             be.close()
     return out

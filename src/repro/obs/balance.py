@@ -1,0 +1,152 @@
+"""Load-balance gauges: the empirical witness of Theorem 14.
+
+Corollary 7 / Theorem 14 promise that merge-path segments differ by at
+most one output element — *perfect* static load balance.  This module
+turns that claim into numbers you can watch:
+
+* :func:`partition_work_spread` — max-min segment length of a
+  :class:`~repro.types.Partition` (the theorem says <= 1, always);
+* :func:`load_balance_from_trace` — per-OS-worker busy time and element
+  throughput aggregated from ``segment.merge`` spans, with max/mean
+  imbalance ratios (1.0 = perfectly even; thread pools may multiplex
+  several logical segments onto one OS thread, which is a scheduling
+  artifact, not a partitioning one — the *work spread* gauge is the
+  theorem's statement);
+* :func:`record_load_balance` — publish both as registry gauges
+  (``balance.work_spread``, ``balance.time_imbalance``,
+  ``balance.workers``).
+
+This is the same per-processor work-breakdown view Green et al.'s GPU
+follow-up and Siebert & Träff's analysis argue from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import Partition
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "WorkerLoad",
+    "LoadBalanceReport",
+    "load_balance_from_trace",
+    "partition_work_spread",
+    "record_load_balance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerLoad:
+    """Aggregate of one OS worker's traced merge spans."""
+
+    tid: int
+    spans: int
+    busy_ns: int
+    elements: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoadBalanceReport:
+    """Per-worker load shares for one traced execution."""
+
+    workers: tuple[WorkerLoad, ...]
+    span_name: str = "segment.merge"
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(w.elements for w in self.workers)
+
+    @property
+    def time_imbalance(self) -> float:
+        """Max over mean of per-worker busy time (1.0 = perfect)."""
+        if not self.workers:
+            return 1.0
+        times = [w.busy_ns for w in self.workers]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean > 0 else 1.0
+
+    @property
+    def work_imbalance(self) -> float:
+        """Max over mean of per-worker element throughput."""
+        if not self.workers:
+            return 1.0
+        work = [w.elements for w in self.workers]
+        mean = sum(work) / len(work)
+        return max(work) / mean if mean > 0 else 1.0
+
+    def describe(self) -> str:
+        if not self.workers:
+            return f"(no {self.span_name!r} spans recorded)"
+        lines = [
+            f"load balance over {self.worker_count} worker(s) "
+            f"[{self.span_name} spans]:"
+        ]
+        for w in sorted(self.workers, key=lambda w: -w.busy_ns):
+            lines.append(
+                f"  tid={w.tid}: spans={w.spans} busy={w.busy_ns / 1e6:.3f}ms "
+                f"elements={w.elements}"
+            )
+        lines.append(
+            f"  time max/mean={self.time_imbalance:.3f} "
+            f"work max/mean={self.work_imbalance:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def load_balance_from_trace(
+    tracer: Tracer, span_name: str = "segment.merge"
+) -> LoadBalanceReport:
+    """Aggregate ``span_name`` spans per OS worker thread.
+
+    Element counts come from each span's ``length`` attribute (attached
+    by the instrumented entry points); spans without it count time only.
+    """
+    acc: dict[int, list[int]] = {}
+    for rec in tracer.spans():
+        if rec.name != span_name:
+            continue
+        entry = acc.setdefault(rec.tid, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += rec.duration_ns
+        length = rec.args.get("length")
+        if isinstance(length, int):
+            entry[2] += length
+    workers = tuple(
+        WorkerLoad(tid=tid, spans=n, busy_ns=busy, elements=elems)
+        for tid, (n, busy, elems) in sorted(acc.items())
+    )
+    return LoadBalanceReport(workers=workers, span_name=span_name)
+
+
+def partition_work_spread(partition: Partition) -> int:
+    """Max-min segment output length — Theorem 14 bounds this by 1."""
+    return partition.max_imbalance
+
+
+def record_load_balance(
+    registry: MetricsRegistry,
+    *,
+    report: LoadBalanceReport | None = None,
+    partition: Partition | None = None,
+) -> None:
+    """Publish load-balance gauges into ``registry``.
+
+    ``balance.work_spread`` (from a partition) is the Theorem 14 gauge:
+    it must never exceed 1.  ``balance.time_imbalance`` and
+    ``balance.workers`` (from a trace report) describe how evenly the
+    backend actually ran the segments.
+    """
+    if partition is not None:
+        registry.gauge("balance.work_spread").set(
+            partition_work_spread(partition)
+        )
+    if report is not None and report.workers:
+        registry.gauge("balance.time_imbalance").set(report.time_imbalance)
+        registry.gauge("balance.work_imbalance").set(report.work_imbalance)
+        registry.gauge("balance.workers").set(report.worker_count)

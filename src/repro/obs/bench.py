@@ -1,0 +1,153 @@
+"""Bench-regression emitter: ``BENCH_<date>.json`` snapshots.
+
+A deliberately small, reproducible suite — merge / segmented merge /
+sort over a size-and-``p`` grid — timed *untraced* (best of three) so
+the numbers reflect the kernels, then run once more *traced* to attach
+the load-balance story (per-worker time imbalance and the Theorem 14
+work spread) to every row.  The output is a flat JSON document that a
+later run can diff against::
+
+    python -m repro bench --quick --out BENCH_ci.json
+    python benchmarks/emit.py --quick          # same thing, standalone
+
+Schema (``"repro-bench/1"``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_utc": "2026-08-06T12:00:00Z",
+      "host": {"platform": ..., "python": ..., "numpy": ..., "cpus": ...},
+      "quick": true,
+      "results": [
+        {"op": "parallel_merge", "n": 65536, "p": 4,
+         "ns_per_elem": 12.3, "best_s": ..., "runs_s": [...],
+         "time_imbalance": 1.04, "work_imbalance": 1.0, "workers": 4}
+      ]
+    }
+
+``ns_per_elem`` divides by the *output* length (2n for merges, n for
+sorts) so rows are comparable across ops.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core.merge_sort import parallel_merge_sort
+from ..core.parallel_merge import parallel_merge
+from ..core.segmented_merge import segmented_parallel_merge
+from ..workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
+from .balance import load_balance_from_trace
+from .tracer import Tracer
+
+__all__ = ["BENCH_SCHEMA", "run_bench_suite", "write_bench_file"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+_REPEATS = 3
+
+
+def _time_best(fn: Callable[[], object], repeats: int = _REPEATS) -> tuple[float, list[float]]:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    runs: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    return min(runs), runs
+
+
+def _bench_case(
+    op: str,
+    n: int,
+    p: int,
+    untraced: Callable[[], object],
+    traced: Callable[[Tracer], object],
+    out_len: int,
+) -> dict:
+    best, runs = _time_best(untraced)
+    tracer = Tracer()
+    traced(tracer)
+    report = load_balance_from_trace(tracer)
+    return {
+        "op": op,
+        "n": int(n),
+        "p": int(p),
+        "best_s": round(best, 6),
+        "runs_s": [round(r, 6) for r in runs],
+        "ns_per_elem": round(best * 1e9 / max(1, out_len), 3),
+        "time_imbalance": round(report.time_imbalance, 4),
+        "work_imbalance": round(report.work_imbalance, 4),
+        "workers": report.worker_count,
+    }
+
+
+def run_bench_suite(*, quick: bool = False, seed: int = 7) -> dict:
+    """Run the regression suite and return the bench document."""
+    sizes = [1 << 14] if quick else [1 << 16, 1 << 18]
+    ps = (2, 4) if quick else (2, 4, 8)
+    results: list[dict] = []
+
+    for n in sizes:
+        a = sorted_uniform_ints(n, seed)
+        b = sorted_uniform_ints(n, seed + 1)
+        x = unsorted_uniform_ints(n, seed + 2)
+        L = max(1, n // 8)
+        for p in ps:
+            results.append(_bench_case(
+                "parallel_merge", n, p,
+                lambda: parallel_merge(a, b, p, backend="threads"),
+                lambda tr: parallel_merge(a, b, p, backend="threads",
+                                          trace=tr),
+                2 * n,
+            ))
+            results.append(_bench_case(
+                "segmented_parallel_merge", n, p,
+                lambda: segmented_parallel_merge(a, b, p, L=L,
+                                                 backend="threads"),
+                lambda tr: segmented_parallel_merge(a, b, p, L=L,
+                                                    backend="threads",
+                                                    trace=tr),
+                2 * n,
+            ))
+            results.append(_bench_case(
+                "parallel_merge_sort", n, p,
+                lambda: parallel_merge_sort(x, p, backend="threads"),
+                lambda tr: parallel_merge_sort(x, p, backend="threads",
+                                               trace=tr),
+                n,
+            ))
+
+    created = _dt.datetime.now(_dt.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": created,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count() or 1,
+        },
+        "quick": bool(quick),
+        "results": results,
+    }
+
+
+def write_bench_file(
+    path: str | None = None, *, quick: bool = False, seed: int = 7
+) -> str:
+    """Run the suite and write ``BENCH_<YYYY-MM-DD>.json`` (or ``path``)."""
+    doc = run_bench_suite(quick=quick, seed=seed)
+    if path is None:
+        date = doc["created_utc"][:10]
+        path = f"BENCH_{date}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

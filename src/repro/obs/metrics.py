@@ -1,0 +1,286 @@
+"""Unified counters / gauges / histograms for every merge-path phase.
+
+One :class:`MetricsRegistry` replaces the ad-hoc counter sinks that had
+grown around the package: the :class:`~repro.types.MergeStats` protocol
+(comparisons / moves / search probes) stays the *kernel-facing* sink —
+it is tiny and allocation-free — but its totals now land in named
+registry counters, next to the resilience layer's retry/timeout/
+speculation counts and the load-balance gauges.  There is exactly one
+counting path: kernels count into a ``MergeStats``-shaped object, entry
+points flush the *delta* of each call into the registry, and
+:class:`~repro.resilience.ExecutionTelemetry` emits its batch totals
+into the same registry when bound to one.
+
+Metric name conventions (full table in ``docs/observability.md``):
+
+``merge.comparisons`` / ``merge.moves`` / ``merge.search_probes``
+    Kernel operation counts (the quantities of the paper's step model).
+``merge.calls`` / ``merge.segments``
+    Entry-point invocations and merge segments dispatched.
+``spm.blocks`` and histogram ``spm.block_a_share``
+    Algorithm 2 block count and per-block A-consumption share.
+``sort.rounds``
+    Merge rounds executed by the parallel sort.
+``resilience.dispatches`` / ``.retries`` / ``.timeouts`` /
+``.speculations`` / ``.worker_deaths`` / ``.batches`` / ``.tasks``
+    Fault-tolerant execution totals (fed by ``ExecutionTelemetry``).
+``balance.work_spread`` / ``balance.time_imbalance`` /
+``balance.workers``
+    Load-balance gauges (Theorem 14 witnesses; see ``obs.balance``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistryMergeStats",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..types import MergeStats
+
+
+class Counter:
+    """Monotonically increasing integer counter (thread-safe)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named metric namespace shared by every subsystem of one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors --------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- bulk reads ----------------------------------------------------
+    def value(self, name: str, default: float = 0) -> float:
+        """Current value of a counter or gauge (0 when never touched)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].value
+            if name in self._gauges:
+                return self._gauges[name].value
+        return default
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every metric (stable, JSON-serializable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = dict(self._histograms)
+        out: dict[str, Any] = {}
+        for name in sorted(counters):
+            out[name] = counters[name].value
+        for name in sorted(gauges):
+            out[name] = gauges[name].value
+        for name in sorted(hists):
+            out[name] = hists[name].summary()
+        return out
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sorted({*self._counters, *self._gauges, *self._histograms})
+            )
+
+    # -- MergeStats protocol bridge ------------------------------------
+    def merge_stats(self, prefix: str = "merge") -> "RegistryMergeStats":
+        """A ``MergeStats``-protocol sink that writes through to counters.
+
+        This is the *one protocol* for operation counting: any API that
+        accepts ``stats=`` (``partition_merge_path``, the merge kernels,
+        ``cache_efficient_sort``, ...) can be pointed at the registry by
+        passing ``registry.merge_stats()``.
+        """
+        return RegistryMergeStats(self, prefix)
+
+    def record_merge_stats(
+        self, stats: "MergeStats", prefix: str = "merge"
+    ) -> None:
+        """Add a finished ``MergeStats`` total into the registry counters."""
+        self.counter(f"{prefix}.comparisons").inc(stats.comparisons)
+        self.counter(f"{prefix}.moves").inc(stats.moves)
+        self.counter(f"{prefix}.search_probes").inc(stats.search_probes)
+
+    def record_merge_delta(
+        self,
+        before: tuple[int, int, int],
+        stats: "MergeStats",
+        prefix: str = "merge",
+    ) -> None:
+        """Add only the counts accrued since ``before`` (a field snapshot).
+
+        Entry points use this so a caller-provided ``stats`` object that
+        already held counts is not double-recorded.
+        """
+        c0, m0, s0 = before
+        self.counter(f"{prefix}.comparisons").inc(stats.comparisons - c0)
+        self.counter(f"{prefix}.moves").inc(stats.moves - m0)
+        self.counter(f"{prefix}.search_probes").inc(stats.search_probes - s0)
+
+
+class RegistryMergeStats:
+    """Adapter implementing the ``MergeStats`` attribute protocol.
+
+    Kernels mutate stats sinks with ``stats.comparisons += n`` /
+    ``stats.merge(other)``; this class maps those attribute writes onto
+    registry counters, so legacy call sites route through the unified
+    registry without signature changes.  Intended for single-threaded
+    accumulation (per-task sinks are separate objects merged at the
+    barrier, exactly like plain ``MergeStats``).
+    """
+
+    __slots__ = ("_comparisons", "_moves", "_search_probes")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = "merge") -> None:
+        object.__setattr__(self, "_comparisons", registry.counter(f"{prefix}.comparisons"))
+        object.__setattr__(self, "_moves", registry.counter(f"{prefix}.moves"))
+        object.__setattr__(self, "_search_probes", registry.counter(f"{prefix}.search_probes"))
+
+    # Attribute protocol: reads return the counter total; writes record
+    # the (non-negative) delta, which is what ``x.field += n`` produces.
+    @property
+    def comparisons(self) -> int:
+        return self._comparisons.value
+
+    @comparisons.setter
+    def comparisons(self, value: int) -> None:
+        self._comparisons.inc(value - self._comparisons.value)
+
+    @property
+    def moves(self) -> int:
+        return self._moves.value
+
+    @moves.setter
+    def moves(self, value: int) -> None:
+        self._moves.inc(value - self._moves.value)
+
+    @property
+    def search_probes(self) -> int:
+        return self._search_probes.value
+
+    @search_probes.setter
+    def search_probes(self, value: int) -> None:
+        self._search_probes.inc(value - self._search_probes.value)
+
+    def merge(self, other: Any) -> None:
+        """Accumulate another sink's counters (MergeStats-compatible)."""
+        self._comparisons.inc(other.comparisons)
+        self._moves.inc(other.moves)
+        self._search_probes.inc(other.search_probes)
+
+    @property
+    def total_ops(self) -> int:
+        return self.comparisons + self.moves + self.search_probes

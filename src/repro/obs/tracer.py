@@ -1,0 +1,222 @@
+"""Nested-span tracer with lock-free per-worker buffers.
+
+The tracing model is deliberately tiny — exactly what is needed to *see*
+where Algorithm 1 and 2 spend their time:
+
+* a :class:`Span` is a named interval with key/value attributes,
+  recorded on whichever thread *enters* it (so a span opened inside a
+  thread-pool task lands in that worker's buffer);
+* each OS thread appends finished spans to its own private buffer — no
+  lock is taken on the hot path, only once per thread to register the
+  buffer (the same discipline as the paper's workers writing disjoint
+  output slices);
+* spans nest via a per-thread stack; every record carries its depth and
+  parent name so exporters can rebuild the flame shape;
+* timestamps are ``perf_counter_ns`` relative to the tracer's epoch,
+  which keeps buffers from different threads on one comparable clock.
+
+Disabled tracing must cost nothing: call sites guard with
+``tracer.span(...) if tracer is not None else NULL_SPAN`` so that when
+no tracer is installed *no span object is ever allocated* —
+:data:`NULL_SPAN` is a shared do-nothing singleton.
+
+Span-name conventions used across the package (see
+``docs/observability.md`` for the full table):
+
+==================  ====================================================
+``partition.search``  diagonal binary search (Theorem 14) of one
+                      partitioning call
+``segment.merge``     one processor's sequential merge of its segment
+``spm.block``         one cache-sized block of Algorithm 2
+``sort.round``        one round of the parallel merge sort
+``backend.task``      task execution as seen by the backend
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullSpan", "NULL_SPAN"]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span: name, interval, worker identity, attributes.
+
+    ``start_ns`` is relative to the owning tracer's epoch; ``tid`` is
+    the OS thread ident of the worker that ran the span; ``depth`` is
+    the nesting level on that worker (0 = top level) and ``parent`` the
+    name of the enclosing span, if any.
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    pid: int
+    tid: int
+    depth: int
+    parent: str | None
+    args: dict[str, Any]
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+class NullSpan:
+    """Do-nothing stand-in used when tracing is disabled.
+
+    A single shared instance (:data:`NULL_SPAN`) serves every disabled
+    call site, so the "tracing off" path performs zero allocations.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+#: Shared disabled-span singleton; ``with tracer.span(...) if tracer
+#: is not None else NULL_SPAN:`` is the canonical guarded call site.
+NULL_SPAN = NullSpan()
+
+
+@dataclass(slots=True)
+class _ThreadState:
+    """Per-thread span buffer and nesting stack (registered once)."""
+
+    tid: int
+    thread_name: str
+    records: list[SpanRecord] = field(default_factory=list)
+    stack: list["Span"] = field(default_factory=list)
+
+
+class Span:
+    """A live (entered but not yet exited) traced interval.
+
+    Use as a context manager; attributes can be attached at creation
+    (``tracer.span("segment.merge", index=3)``) or mid-span via
+    :meth:`set` (e.g. a probe count known only at the end).
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns", "_depth", "_parent", "_state")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+        self._depth = 0
+        self._parent: str | None = None
+        self._state: _ThreadState | None = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        state = self._tracer._thread_state()
+        self._state = state
+        self._depth = len(state.stack)
+        self._parent = state.stack[-1].name if state.stack else None
+        state.stack.append(self)
+        self._start_ns = time.perf_counter_ns() - self._tracer.epoch_ns
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end_ns = time.perf_counter_ns() - self._tracer.epoch_ns
+        state = self._state
+        assert state is not None, "span exited without being entered"
+        state.stack.pop()
+        state.records.append(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start_ns,
+                duration_ns=max(0, end_ns - self._start_ns),
+                pid=self._tracer.pid,
+                tid=state.tid,
+                depth=self._depth,
+                parent=self._parent,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans from any number of worker threads.
+
+    One tracer instance spans one recording session (e.g. one
+    ``parallel_merge`` call, or a whole experiment).  Thread safety: the
+    only shared mutation is registering a new thread's buffer, guarded
+    by a lock taken once per thread; recording itself is thread-local.
+    """
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self.pid = os.getpid()
+        self.epoch_ns = time.perf_counter_ns()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._states: list[_ThreadState] = []
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Create a span; enter it with ``with`` to start the clock."""
+        return Span(self, name, attrs)
+
+    def _thread_state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = _ThreadState(
+                tid=threading.get_ident(),
+                thread_name=threading.current_thread().name,
+            )
+            self._tls.state = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    # -- reading -------------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        """All finished spans, merged across worker buffers.
+
+        Sorted by start timestamp (parents before their children when
+        starts coincide, thanks to the longer-duration-first tiebreak).
+        """
+        with self._lock:
+            records = [r for state in self._states for r in state.records]
+        return sorted(records, key=lambda r: (r.start_ns, -r.duration_ns))
+
+    def thread_names(self) -> dict[int, str]:
+        """Mapping of thread ident -> thread name for every worker seen."""
+        with self._lock:
+            return {state.tid: state.thread_name for state in self._states}
+
+    @property
+    def span_count(self) -> int:
+        with self._lock:
+            return sum(len(state.records) for state in self._states)
+
+    def worker_ids(self) -> set[int]:
+        """Thread idents that recorded at least one span."""
+        with self._lock:
+            return {s.tid for s in self._states if s.records}
+
+    def clear(self) -> None:
+        """Drop all recorded spans (buffers stay registered)."""
+        with self._lock:
+            for state in self._states:
+                state.records.clear()

@@ -8,15 +8,38 @@ into an :class:`ExecutionTelemetry` that the high-level entry points
 (:func:`repro.core.parallel_merge.parallel_merge`,
 :func:`repro.core.merge_sort.parallel_merge_sort`) expose to callers
 and the conformance chaos tier prints in its verdicts.
+
+These dataclasses are *emitters* into the unified observability layer:
+bind an :class:`ExecutionTelemetry` to a
+:class:`repro.obs.MetricsRegistry` (``telemetry.metrics = registry``,
+or simply pass ``metrics=`` to the entry points) and every recorded
+batch increments the ``resilience.*`` counters there — one counting
+path shared with kernel and load-balance metrics.  The aggregate
+properties below remain as thin read-side aliases over the recorded
+batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import TaskFailure
 
-__all__ = ["TaskTelemetry", "BatchTelemetry", "ExecutionTelemetry"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry
+
+__all__ = [
+    "TaskTelemetry",
+    "BatchTelemetry",
+    "ExecutionTelemetry",
+    "TELEMETRY_COUNTERS",
+]
+
+#: Batch aggregate fields mirrored into ``resilience.*`` counters.
+TELEMETRY_COUNTERS = (
+    "dispatches", "retries", "timeouts", "speculations", "worker_deaths",
+)
 
 
 @dataclass(frozen=True)
@@ -97,12 +120,32 @@ class ExecutionTelemetry:
     / ``parallel_merge_sort`` (or read it off a
     :class:`~repro.resilience.ResilientBackend`) and inspect the totals
     afterwards.
+
+    When :attr:`metrics` is set (a :class:`repro.obs.MetricsRegistry`),
+    :meth:`record` also increments the registry's ``resilience.*``
+    counters, making this object an emitter into the unified metrics
+    layer rather than a second counting path.
     """
 
     batches: list[BatchTelemetry] = field(default_factory=list)
+    #: Optional unified-registry sink; see class docstring.
+    metrics: "MetricsRegistry | None" = None
+
+    def bind(self, metrics: "MetricsRegistry") -> "ExecutionTelemetry":
+        """Attach a registry sink; chainable."""
+        self.metrics = metrics
+        return self
 
     def record(self, batch: BatchTelemetry) -> None:
         self.batches.append(batch)
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("resilience.batches").inc()
+            registry.counter("resilience.tasks").inc(len(batch.tasks))
+            for key in TELEMETRY_COUNTERS:
+                count = getattr(batch, key)
+                if count:
+                    registry.counter(f"resilience.{key}").inc(count)
 
     @property
     def dispatches(self) -> int:

@@ -1,0 +1,79 @@
+"""Load-balance gauges — the empirical Theorem 14 regression test.
+
+Theorem 14 (Corollary 7): merge-path segments differ by at most one
+output element, for *any* input — including adversarial shapes that
+break naive splitters.  The ``balance.work_spread`` gauge is that
+statement as a number; here we pin it to <= 1 on the threads backend
+across every adversarial workload in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parallel_merge
+from repro.core.merge_path import partition_merge_path
+from repro.obs import MetricsRegistry, Tracer, load_balance_from_trace
+from repro.obs.balance import (
+    LoadBalanceReport,
+    WorkerLoad,
+    partition_work_spread,
+    record_load_balance,
+)
+from repro.workloads.adversarial import ADVERSARIAL_PAIRS
+
+from ..conftest import reference_merge
+
+
+@pytest.mark.parametrize("workload", sorted(ADVERSARIAL_PAIRS))
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_theorem14_work_spread_gauge_on_adversarial_inputs(workload, p):
+    """work_spread <= 1 element for every adversarial input (Theorem 14)."""
+    a, b = ADVERSARIAL_PAIRS[workload](512)
+    reg = MetricsRegistry()
+    out = parallel_merge(a, b, p, backend="threads", metrics=reg)
+    assert (out == reference_merge(a, b)).all()
+    assert reg.value("balance.work_spread") <= 1, (
+        f"Theorem 14 violated on {workload} at p={p}: "
+        f"work spread {reg.value('balance.work_spread')}"
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(ADVERSARIAL_PAIRS))
+def test_partition_work_spread_matches_partition(workload):
+    a, b = ADVERSARIAL_PAIRS[workload](256)
+    part = partition_merge_path(a, b, 5)
+    assert partition_work_spread(part) == part.max_imbalance <= 1
+
+
+def test_trace_report_aggregates_elements():
+    g = np.random.default_rng(11)
+    a = np.sort(g.integers(0, 10**6, 8192))
+    b = np.sort(g.integers(0, 10**6, 8192))
+    tracer = Tracer()
+    parallel_merge(a, b, 4, backend="threads", trace=tracer)
+    report = load_balance_from_trace(tracer)
+    assert report.worker_count >= 2
+    assert report.total_elements == len(a) + len(b)
+    assert report.time_imbalance >= 1.0
+    assert report.work_imbalance >= 1.0
+    assert "load balance over" in report.describe()
+
+
+def test_record_load_balance_sets_gauges():
+    reg = MetricsRegistry()
+    report = LoadBalanceReport(workers=(
+        WorkerLoad(tid=1, spans=2, busy_ns=100, elements=50),
+        WorkerLoad(tid=2, spans=2, busy_ns=300, elements=50),
+    ))
+    record_load_balance(reg, report=report)
+    assert reg.value("balance.time_imbalance") == pytest.approx(1.5)
+    assert reg.value("balance.work_imbalance") == pytest.approx(1.0)
+    assert reg.value("balance.workers") == 2
+
+
+def test_empty_report_records_nothing():
+    reg = MetricsRegistry()
+    record_load_balance(reg, report=LoadBalanceReport(workers=()))
+    assert "balance.time_imbalance" not in reg.names()

@@ -1,0 +1,50 @@
+"""Bench-regression emitter: document shape and standalone wrapper."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.bench import BENCH_SCHEMA, run_bench_suite, write_bench_file
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestBenchSuite:
+    def test_quick_suite_document(self):
+        doc = run_bench_suite(quick=True)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["quick"] is True
+        assert doc["created_utc"].endswith("Z")
+        assert doc["host"]["python"]
+        ops = {r["op"] for r in doc["results"]}
+        assert ops == {"parallel_merge", "segmented_parallel_merge",
+                       "parallel_merge_sort"}
+        for row in doc["results"]:
+            assert row["ns_per_elem"] > 0
+            assert row["best_s"] == min(row["runs_s"])
+            assert row["time_imbalance"] >= 1.0
+            assert row["workers"] >= 1
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_bench_file_default_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_bench_file(quick=True)
+        assert Path(path).name.startswith("BENCH_")
+        assert Path(path).suffix == ".json"
+        doc = json.loads(Path(path).read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+
+    def test_emit_script_standalone(self, tmp_path):
+        """benchmarks/emit.py works without PYTHONPATH (CI entry point)."""
+        out = tmp_path / "BENCH_ci.json"
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "emit.py"),
+             "--quick", "--out", str(out)],
+            capture_output=True, text=True, cwd=tmp_path, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == BENCH_SCHEMA and doc["results"]

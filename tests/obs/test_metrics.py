@@ -1,0 +1,192 @@
+"""Metrics registry: primitives, the MergeStats bridge, telemetry bridge."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience.telemetry import (
+    BatchTelemetry,
+    ExecutionTelemetry,
+    TaskTelemetry,
+)
+from repro.types import MergeStats
+
+
+class TestPrimitives:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert reg.value("x") == 5
+        assert reg.counter("x") is c  # get-or-create
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(3.5)
+        g.set(1.25)
+        assert reg.value("g") == 1.25
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_snapshot_is_json_plain(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc(2)
+        reg.gauge("b.gauge").set(0.5)
+        reg.histogram("c.hist").observe(1.0)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["a.count"] == 2
+        assert snap["c.hist"]["count"] == 1
+
+    def test_counter_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+
+        def work() -> None:
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestMergeStatsBridge:
+    def test_registry_stats_supports_kernel_protocol(self):
+        """`stats.field += n` and `.merge()` — exactly what kernels do."""
+        reg = MetricsRegistry()
+        sink = reg.merge_stats()
+        sink.comparisons += 10
+        sink.moves += 3
+        sink.search_probes += 2
+        other = MergeStats(comparisons=5, moves=1, search_probes=1)
+        sink.merge(other)
+        assert reg.value("merge.comparisons") == 15
+        assert reg.value("merge.moves") == 4
+        assert reg.value("merge.search_probes") == 3
+        assert sink.total_ops == 22
+
+    def test_registry_stats_usable_by_real_kernel(self):
+        import numpy as np
+
+        from repro.core.sequential import merge_two_pointer
+
+        reg = MetricsRegistry()
+        sink = reg.merge_stats()
+        merge_two_pointer(np.array([1, 3, 5]), np.array([2, 4]), stats=sink)
+        assert reg.value("merge.comparisons") > 0
+        assert reg.value("merge.moves") == 5
+
+    def test_record_merge_delta_skips_preexisting_counts(self):
+        reg = MetricsRegistry()
+        stats = MergeStats(comparisons=100, moves=50, search_probes=7)
+        before = (stats.comparisons, stats.moves, stats.search_probes)
+        stats.comparisons += 10
+        stats.moves += 5
+        reg.record_merge_delta(before, stats)
+        assert reg.value("merge.comparisons") == 10
+        assert reg.value("merge.moves") == 5
+        assert reg.value("merge.search_probes") == 0
+
+
+class TestEntryPointFlush:
+    def test_parallel_merge_metrics_only(self):
+        """metrics= alone gets kernel counts without a stats object."""
+        import numpy as np
+
+        from repro import parallel_merge
+
+        reg = MetricsRegistry()
+        a = np.arange(0, 2000, 2)
+        b = np.arange(1, 2000, 2)
+        parallel_merge(a, b, 4, backend="serial", metrics=reg)
+        assert reg.value("merge.calls") == 1
+        assert reg.value("merge.segments") == 4
+        assert reg.value("merge.moves") >= 0
+        assert reg.value("merge.comparisons") > 0
+        assert reg.value("merge.search_probes") > 0
+
+    def test_caller_stats_not_double_counted(self):
+        """A pre-loaded caller stats object contributes only its delta."""
+        import numpy as np
+
+        from repro import parallel_merge
+
+        reg = MetricsRegistry()
+        stats = MergeStats(comparisons=10**9)  # sentinel preload
+        a = np.arange(0, 200, 2)
+        b = np.arange(1, 200, 2)
+        parallel_merge(a, b, 2, backend="serial", stats=stats, metrics=reg)
+        assert reg.value("merge.comparisons") < 10**6
+
+    def test_vectorized_partition_counts_probes(self):
+        """Satellite: vectorized diagonal search honors the stats sink."""
+        import numpy as np
+
+        from repro.core.merge_path import partition_merge_path
+
+        a = np.arange(0, 4096, 2)
+        b = np.arange(1, 4096, 2)
+        s_vec = MergeStats()
+        s_scalar = MergeStats()
+        partition_merge_path(a, b, 8, vectorized=True, stats=s_vec)
+        partition_merge_path(a, b, 8, vectorized=False, stats=s_scalar)
+        assert s_vec.search_probes > 0
+        assert s_scalar.search_probes > 0
+
+
+class TestTelemetryBridge:
+    @staticmethod
+    def _batch(**kwargs) -> BatchTelemetry:
+        defaults = dict(index=0, dispatches=1, winner="primary")
+        defaults.update(kwargs)
+        return BatchTelemetry(tasks=(TaskTelemetry(**defaults),))
+
+    def test_record_emits_resilience_counters(self):
+        reg = MetricsRegistry()
+        tel = ExecutionTelemetry().bind(reg)
+        tel.record(self._batch(dispatches=3, retries=2, timeouts=1))
+        tel.record(self._batch(dispatches=2, speculations=1))
+        assert reg.value("resilience.batches") == 2
+        assert reg.value("resilience.tasks") == 2
+        assert reg.value("resilience.dispatches") == 5
+        assert reg.value("resilience.retries") == 2
+        assert reg.value("resilience.timeouts") == 1
+        assert reg.value("resilience.speculations") == 1
+        assert reg.value("resilience.worker_deaths") == 0
+
+    def test_registry_matches_aggregate_properties(self):
+        """The bridge and the dataclass aliases agree — one counting path."""
+        reg = MetricsRegistry()
+        tel = ExecutionTelemetry().bind(reg)
+        tel.record(self._batch(dispatches=4, retries=3, worker_deaths=1))
+        assert reg.value("resilience.dispatches") == tel.dispatches
+        assert reg.value("resilience.retries") == tel.retries
+        assert reg.value("resilience.worker_deaths") == tel.worker_deaths
+
+    def test_unbound_telemetry_unchanged(self):
+        tel = ExecutionTelemetry()
+        tel.record(self._batch(dispatches=2, retries=1))
+        assert tel.metrics is None
+        assert tel.dispatches == 2 and tel.retries == 1

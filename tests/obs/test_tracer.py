@@ -1,0 +1,143 @@
+"""Tracer core semantics: nesting, cross-thread merge, zero-alloc off."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.tracer import NULL_SPAN, NullSpan, Span
+
+
+class TestNesting:
+    def test_depth_and_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+        recs = {r.name: r for r in tr.spans()}
+        assert recs["outer"].depth == 0 and recs["outer"].parent is None
+        assert recs["inner"].depth == 1 and recs["inner"].parent == "outer"
+        assert recs["leaf"].depth == 2 and recs["leaf"].parent == "inner"
+
+    def test_child_contained_in_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.001)
+        recs = {r.name: r for r in tr.spans()}
+        assert recs["outer"].start_ns <= recs["inner"].start_ns
+        assert recs["inner"].end_ns <= recs["outer"].end_ns
+
+    def test_siblings_share_parent(self):
+        tr = Tracer()
+        with tr.span("round"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        recs = {r.name: r for r in tr.spans()}
+        assert recs["a"].parent == "round"
+        assert recs["b"].parent == "round"
+        assert recs["a"].depth == recs["b"].depth == 1
+
+    def test_attributes_via_set(self):
+        tr = Tracer()
+        with tr.span("s", x=1) as sp:
+            sp.set(y=2).set(z="w")
+        (rec,) = tr.spans()
+        assert rec.args == {"x": 1, "y": 2, "z": "w"}
+
+    def test_exception_still_records(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert [r.name for r in tr.spans()] == ["boom"]
+
+
+class TestCrossThread:
+    def test_per_thread_buffers_merge_in_timestamp_order(self):
+        tr = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            for j in range(5):
+                with tr.span("w", worker=i, j=j):
+                    time.sleep(0.0002)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = tr.spans()
+        assert len(recs) == 20
+        starts = [r.start_ns for r in recs]
+        assert starts == sorted(starts)
+        assert len({r.tid for r in recs}) == 4
+        assert len(tr.worker_ids()) == 4
+
+    def test_thread_names_registered(self):
+        tr = Tracer()
+
+        def work() -> None:
+            with tr.span("x"):
+                pass
+
+        t = threading.Thread(target=work, name="merge-worker-9")
+        t.start()
+        t.join()
+        assert "merge-worker-9" in tr.thread_names().values()
+
+    def test_clear_resets(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        assert tr.span_count == 1
+        tr.clear()
+        assert tr.span_count == 0
+        assert tr.spans() == []
+
+
+class TestDisabledTracing:
+    def test_null_span_is_shared_singleton(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+        with NULL_SPAN as sp:
+            assert sp is NULL_SPAN
+            assert sp.set(anything=1) is NULL_SPAN
+
+    def test_trace_none_allocates_no_span_objects(self, monkeypatch):
+        """With trace=None the hot path must never construct a Span."""
+        import numpy as np
+
+        from repro import parallel_merge
+
+        def boom(self, *a, **k):  # pragma: no cover - must not run
+            raise AssertionError("Span allocated with tracing disabled")
+
+        monkeypatch.setattr(Span, "__init__", boom)
+        a = np.arange(0, 50, 2)
+        b = np.arange(1, 50, 2)
+        out = parallel_merge(a, b, 3, backend="serial")
+        assert list(out) == sorted(list(a) + list(b))
+
+    def test_trace_none_for_sort_and_spm(self, monkeypatch):
+        import numpy as np
+
+        from repro import parallel_merge_sort, segmented_parallel_merge
+
+        def boom(self, *a, **k):  # pragma: no cover - must not run
+            raise AssertionError("Span allocated with tracing disabled")
+
+        monkeypatch.setattr(Span, "__init__", boom)
+        x = np.array([5, 3, 8, 1, 9, 2, 7, 4])
+        assert list(parallel_merge_sort(x, 2, backend="serial")) == sorted(x)
+        a = np.arange(0, 20, 2)
+        b = np.arange(1, 20, 2)
+        out = segmented_parallel_merge(a, b, 2, L=8, backend="serial")
+        assert list(out) == sorted(list(a) + list(b))
