@@ -1,23 +1,40 @@
 #!/usr/bin/env python
-"""Standalone bench-regression emitter.
+"""Standalone bench-regression emitter and perf ratchet.
 
 Thin wrapper over :mod:`repro.obs.bench` so CI (and anyone without an
-installed package) can write a ``BENCH_<date>.json`` snapshot::
+installed package) can write a ``BENCH_<date>.json`` snapshot and gate
+against a committed baseline::
 
     python benchmarks/emit.py --quick --out BENCH_ci.json
+    python benchmarks/emit.py --quick --compare BENCH_2026-08-06.json
+    python benchmarks/emit.py --compare BENCH_old.json --against BENCH_new.json
+
+``--compare`` diffs per-op ``ns_per_elem`` against the named baseline;
+by default any row regressing more than 25% fails the run (exit 1).
+CI uses ``--warn-regress 0.25 --max-regress 1.0`` to annotate 25%
+regressions as warnings (``::warning::`` on GitHub Actions) while only
+hard-failing past 2x.  ``--against`` compares two existing snapshots
+without re-running the suite.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
 try:
-    from repro.obs.bench import write_bench_file
+    from repro.obs.bench import compare_bench, format_comparison, write_bench_file
 except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-    from repro.obs.bench import write_bench_file
+    from repro.obs.bench import compare_bench, format_comparison, write_bench_file
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,9 +44,65 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<date>.json)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="diff ns/elem against this baseline snapshot")
+    parser.add_argument("--against", default=None, metavar="CURRENT.json",
+                        help="with --compare: diff an existing snapshot "
+                        "instead of running the suite")
+    parser.add_argument("--warn-regress", type=float, default=0.25,
+                        help="fractional regression that warns (default 0.25)")
+    parser.add_argument("--max-regress", type=float, default=None,
+                        help="fractional regression that fails "
+                        "(default: same as --warn-regress)")
     ns = parser.parse_args(argv)
-    path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
-    print(f"wrote {path}")
+    if ns.against is not None and ns.compare is None:
+        parser.error("--against requires --compare")
+
+    if ns.compare is None:
+        path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
+        print(f"wrote {path}")
+        return 0
+
+    baseline = _load(ns.compare)
+    if ns.against is not None:
+        current = _load(ns.against)
+        print(f"comparing {ns.against} against {ns.compare}")
+    else:
+        path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
+        print(f"wrote {path}")
+        current = _load(path)
+        print(f"comparing {path} against {ns.compare}")
+
+    fail_frac = ns.max_regress if ns.max_regress is not None else ns.warn_regress
+    cmp = compare_bench(
+        baseline, current, warn_frac=ns.warn_regress, fail_frac=fail_frac
+    )
+    print(format_comparison(cmp))
+
+    gha = os.environ.get("GITHUB_ACTIONS", "").lower() == "true"
+    for row in cmp["rows"]:
+        if row["status"] in ("warn", "fail"):
+            msg = (
+                f"bench regression: {row['op']} n={row['n']} p={row['p']} "
+                f"ns/elem {row['base_ns']:.3f} -> {row['cur_ns']:.3f} "
+                f"({row['delta'] * 100:+.1f}%)"
+            )
+            if gha:
+                prefix = "::error::" if row["status"] == "fail" else "::warning::"
+                print(f"{prefix}{msg}")
+            else:
+                print(msg, file=sys.stderr)
+
+    if cmp["failed"]:
+        print(
+            f"FAIL: at least one op regressed more than "
+            f"{fail_frac * 100:.0f}% vs {ns.compare}",
+            file=sys.stderr,
+        )
+        return 1
+    if cmp["warned"]:
+        print(f"warnings only (threshold {ns.warn_regress * 100:.0f}%); "
+              "not failing")
     return 0
 
 

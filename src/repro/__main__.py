@@ -153,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default=None,
                          help="output path (default: BENCH_<date>.json)")
     p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                         help="after running, diff ns/elem against this "
+                         "baseline; nonzero exit past --max-regress")
+    p_bench.add_argument("--warn-regress", type=float, default=0.25)
+    p_bench.add_argument("--max-regress", type=float, default=None)
 
     return parser
 
@@ -210,12 +215,31 @@ def _cmd_trace(ns: argparse.Namespace) -> int:
 
 
 def _cmd_bench(ns: argparse.Namespace) -> int:
-    from .obs.bench import write_bench_file
+    from .obs.bench import compare_bench, format_comparison, write_bench_file
 
     path = write_bench_file(ns.out, quick=ns.quick, seed=ns.seed)
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
     print(f"wrote {len(doc['results'])} bench rows to {path}")
+    if ns.compare is None:
+        return 0
+    with open(ns.compare, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    fail_frac = (
+        ns.max_regress if ns.max_regress is not None else ns.warn_regress
+    )
+    cmp = compare_bench(
+        baseline, doc, warn_frac=ns.warn_regress, fail_frac=fail_frac
+    )
+    print(f"comparing {path} against {ns.compare}")
+    print(format_comparison(cmp))
+    if cmp["failed"]:
+        print(
+            f"FAIL: at least one op regressed more than "
+            f"{fail_frac * 100:.0f}% vs {ns.compare}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -25,7 +25,7 @@ provides four interchangeable realizations:
 Use :func:`get_backend` to resolve a backend by name.
 """
 
-from .base import Backend, TaskResult, get_backend, available_backends
+from .base import Backend, TaskBatch, TaskResult, get_backend, available_backends
 from .serial import SerialBackend
 from .threads import ThreadBackend
 from .processes import ProcessBackend
@@ -34,6 +34,7 @@ from .mpi import MPIBackend, mpi_available
 
 __all__ = [
     "Backend",
+    "TaskBatch",
     "TaskResult",
     "get_backend",
     "available_backends",

@@ -12,12 +12,44 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..errors import BackendError, BackendUnavailableError, InputError, TaskFailure
 
-__all__ = ["Backend", "TaskResult", "get_backend", "available_backends", "register_backend"]
+__all__ = [
+    "Backend",
+    "TaskBatch",
+    "TaskResult",
+    "get_backend",
+    "available_backends",
+    "register_backend",
+]
+
+
+@dataclass(slots=True)
+class TaskBatch:
+    """A labelled batch of independent tasks for one fork/join dispatch.
+
+    This is the unit of the batched execution engine
+    (:mod:`repro.execution`): every entry point gathers *all* the
+    segment tasks of one phase — every pair of a sort round, every
+    sub-segment of an SPM block — into a single ``TaskBatch`` and
+    submits it with one :meth:`Backend.run_batch` call, so the number
+    of backend dispatches per call is ``O(log N)`` rather than
+    ``O(p · log N)``.
+
+    ``label`` names the phase for the ``exec.batch`` trace span;
+    ``meta`` carries free-form attributes (round index, pair count, …)
+    recorded on that span.
+    """
+
+    tasks: Sequence[Callable[[], Any]]
+    label: str = "batch"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
 
 
 @dataclass(slots=True)
@@ -47,6 +79,13 @@ class Backend(abc.ABC):
     #: ``None`` (the class default) costs nothing on the hot path.
     tracer = None
 
+    #: Number of :meth:`run_batch` dispatches this instance has served.
+    #: Entry points snapshot it around a call to publish the
+    #: ``exec.dispatches_per_call`` metric; a plain int (class default
+    #: 0, shadowed per instance on first dispatch) keeps the hot path
+    #: lock-free — concurrent callers may undercount, never block.
+    dispatches: int = 0
+
     @abc.abstractmethod
     def run_tasks(
         self, tasks: Sequence[Callable[[], Any]]
@@ -72,9 +111,33 @@ class Backend(abc.ABC):
     # None means "no fast path here, use the generic task route".
     # :func:`repro.core.parallel_merge.merge_partition` probes for it.
 
+    def run_batch(self, batch: TaskBatch) -> list[TaskResult]:
+        """Dispatch one :class:`TaskBatch` (the batched-engine entry).
+
+        Semantically identical to ``run_tasks(batch.tasks)`` — one
+        fork/join barrier over every task — but additionally counts the
+        dispatch on :attr:`dispatches` and, when a tracer is installed,
+        encloses the whole barrier in an ``exec.batch`` span carrying
+        the batch label, size, and metadata.  Wrappers (resilient /
+        fault-injecting backends) inherit this method, so a supervised
+        batch is still *one* dispatch from the caller's point of view
+        no matter how many per-task retries happen underneath.
+        """
+        self.dispatches += 1
+        tracer = self.tracer
+        if tracer is None:
+            return self.run_tasks(batch.tasks)
+        with tracer.span(
+            "exec.batch", label=batch.label, size=len(batch.tasks),
+            backend=self.name, **batch.meta,
+        ):
+            return self.run_tasks(batch.tasks)
+
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
-        """Convenience: apply ``fn`` to each item as a task batch."""
-        results = self.run_tasks([(lambda it=item: fn(it)) for item in items])
+        """Convenience: apply ``fn`` to each item as one task batch."""
+        results = self.run_batch(
+            TaskBatch([(lambda it=item: fn(it)) for item in items], label="map")
+        )
         return [r.value for r in results]
 
     def _run_body(self, index: int, task: Callable[[], Any]) -> Any:

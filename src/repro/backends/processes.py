@@ -48,7 +48,7 @@ import numpy as np
 from ..errors import BatchError, TaskFailure
 from ..types import Partition
 from ..validation import check_positive
-from .base import Backend, TaskResult
+from .base import Backend, TaskBatch, TaskResult
 
 __all__ = ["ProcessBackend", "SharedMergeArena", "merge_partition_shared"]
 
@@ -267,7 +267,7 @@ def merge_partition_shared(
     )
     with SharedMergeArena(a, b, partition) as arena:
         try:
-            be.run_tasks(arena.tasks())
+            be.run_batch(TaskBatch(arena.tasks(), label="merge.shared"))
         finally:
             if own_backend:
                 be.close()

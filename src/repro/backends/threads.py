@@ -21,18 +21,33 @@ __all__ = ["ThreadBackend"]
 
 
 class ThreadBackend(Backend):
-    """Fork/join over a reusable ``ThreadPoolExecutor``."""
+    """Fork/join over a persistent, lazily created ``ThreadPoolExecutor``.
+
+    The pool is created on the first batch and reused for every
+    subsequent one — pool construction is *not* part of any dispatch.
+    The batched execution engine (:mod:`repro.execution`) keeps one
+    instance per ``(name, max_workers)`` alive across calls, so entry
+    points invoked with a string backend name no longer pay
+    per-call pool setup/teardown.
+    """
 
     name = "threads"
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None:
             check_positive(max_workers, "max_workers")
-        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._pool
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        pool = self._ensure_pool()
         futures = [
-            self._pool.submit(self._attempt, i, task)
+            pool.submit(self._attempt, i, task)
             for i, task in enumerate(tasks)
         ]
         # Every future is drained — a failed task never hides the
@@ -50,4 +65,6 @@ class ThreadBackend(Backend):
         return results
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -38,6 +38,7 @@ __all__ = [
     "WriteAudit",
     "WriteTrackingArray",
     "audited_parallel_merge",
+    "audited_batched_round",
 ]
 
 
@@ -79,21 +80,38 @@ class WriteAudit:
     # ------------------------------------------------------------------
     # Post-run analysis
     # ------------------------------------------------------------------
-    def findings(self, partition: Partition | None = None) -> list[RaceFinding]:
-        """Audit the recorded write events against the disjointness contract."""
+    def findings(
+        self,
+        partition: Partition | None = None,
+        *,
+        task_slices: dict[int, tuple[int, int]] | None = None,
+    ) -> list[RaceFinding]:
+        """Audit the recorded write events against the disjointness contract.
+
+        Declared ownership comes either from ``partition`` (task id =
+        segment index, the single-pair case) or from an explicit
+        ``task_slices`` map of task id → ``(out_start, out_end)`` —
+        the batched-round case, where one dispatch carries segments of
+        many pairs at distinct base offsets.
+        """
+        if task_slices is None and partition is not None:
+            task_slices = {
+                i: (seg.out_start, seg.out_end)
+                for i, seg in enumerate(partition.segments)
+            }
         out: list[RaceFinding] = []
         counts = np.zeros(self.length, dtype=np.int64)
         for task_id, idx in self.events:
             counts[idx] += 1
-            if partition is not None and 0 <= task_id < len(partition.segments):
-                seg = partition.segments[task_id]
-                stray = idx[(idx < seg.out_start) | (idx >= seg.out_end)]
+            if task_slices is not None and task_id in task_slices:
+                lo, hi = task_slices[task_id]
+                stray = idx[(idx < lo) | (idx >= hi)]
                 if stray.size:
                     out.append(
                         RaceFinding(
                             "out-of-slice",
                             f"task {task_id} wrote address {int(stray[0])} "
-                            f"outside its slice [{seg.out_start}, {seg.out_end})",
+                            f"outside its slice [{lo}, {hi})",
                         )
                     )
         doubled = np.nonzero(counts > 1)[0]
@@ -202,5 +220,103 @@ def audited_parallel_merge(
     if not np.array_equal(base, ref):
         findings.append(
             RaceFinding("wrong-result", "merged output differs from the oracle")
+        )
+    return findings
+
+
+def audited_batched_round(
+    runs: list[np.ndarray],
+    procs_per_pair: int,
+    *,
+    backend: str = "threads",
+    kernel: str = "vectorized",
+    corrupt_task_slices: dict[int, tuple[int, int]] | None = None,
+) -> list[RaceFinding]:
+    """Race-audit one *batched* merge round across every pair at once.
+
+    Mirrors :func:`repro.execution.engine.run_merge_round`'s fused
+    dispatch — all pairs' segment tasks in a single
+    :class:`~repro.backends.TaskBatch` on the real ``backend`` — with
+    the whole round's output in one write-tracked array, so a stray
+    write from pair ``i`` into pair ``j``'s region (a cross-pair race
+    the per-pair auditor cannot see) is detected.  An odd trailing run
+    is carried, not dispatched, exactly as in the engine.
+
+    ``corrupt_task_slices`` overrides the declared ownership map so
+    tests can verify the detector fires on a batch whose claims lie.
+
+    Returns the list of findings (empty == race-free and correct).
+    """
+    from ..backends import TaskBatch
+
+    runs = [np.asarray(r) for r in runs]
+    if len(runs) < 2:
+        return []
+    pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
+    partitions = [
+        partition_merge_path(a, b, procs_per_pair, check=False)
+        for a, b in pairs
+    ]
+
+    total = sum(len(a) + len(b) for a, b in pairs)
+    dtype = result_dtype(*pairs[0])
+    for a, b in pairs[1:]:
+        dtype = np.promote_types(dtype, result_dtype(a, b))
+    base = np.empty(total, dtype=dtype)
+    audit = WriteAudit(
+        base_addr=base.__array_interface__["data"][0],
+        itemsize=base.itemsize,
+        length=total,
+    )
+    out = base.view(WriteTrackingArray)
+    out._audit = audit
+
+    task_slices: dict[int, tuple[int, int]] = {}
+    tasks = []
+    offset = 0
+    task_id = 0
+    for (a, b), part in zip(pairs, partitions):
+        for seg in part.segments:
+            if seg.length == 0:
+                continue
+
+            def make_task(a=a, b=b, seg=seg, off=offset, tid=task_id):
+                def task() -> None:
+                    audit.set_task(tid)
+                    try:
+                        merge_into(
+                            out[off + seg.out_start : off + seg.out_end],
+                            a[seg.a_start : seg.a_end],
+                            b[seg.b_start : seg.b_end],
+                            kernel=kernel,
+                        )
+                    finally:
+                        audit.set_task(None)
+
+                return task
+
+            tasks.append(make_task())
+            task_slices[task_id] = (
+                offset + seg.out_start, offset + seg.out_end,
+            )
+            task_id += 1
+        offset += len(a) + len(b)
+
+    be = get_backend(backend, max_workers=max(1, procs_per_pair * len(pairs)))
+    try:
+        be.run_batch(TaskBatch(tasks, label="sort.round",
+                               meta={"pairs": len(pairs)}))
+    finally:
+        be.close()
+
+    findings = audit.findings(
+        task_slices=corrupt_task_slices
+        if corrupt_task_slices is not None else task_slices
+    )
+    ref = np.concatenate([stable_merge_oracle(a, b) for a, b in pairs])
+    if not np.array_equal(base, ref):
+        findings.append(
+            RaceFinding("wrong-result",
+                        "batched round output differs from the oracle")
         )
     return findings

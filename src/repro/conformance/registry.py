@@ -121,6 +121,19 @@ def build_registry(
     from ..gpu.model import GPUSpec
     from ..pram.merge_programs import run_parallel_merge_pram
 
+    def _round_merge(a, b, p, backend_name):
+        """Drive one batched engine round over the single pair (a, b)."""
+        from ..execution.engine import run_merge_round
+
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if len(a) == 0 and len(b) == 0:
+            return np.array([], dtype=np.int64)
+        merged = run_merge_round(
+            [a, b], max(1, p), backend=cache.get(backend_name)
+        )
+        return merged[0]
+
     def _streaming(a, b, p):
         blocks = list(streaming_merge(iter(a), iter(b), L=16))
         if not blocks:
@@ -203,6 +216,19 @@ def build_registry(
             lambda a, b, p: parallel_merge(a, b, p, backend=cache.get("processes")),
             tiers=("full",), injectable=True,
             notes="shared-memory process pool; full tier only for speed",
+        ),
+        # ---- batched execution engine (one dispatch per round) ------
+        Implementation(
+            "exec.round_merge.threads", "backend", "merge",
+            lambda a, b, p: _round_merge(a, b, p, "threads"),
+            race_backend="threads", injectable=True,
+            notes="run_merge_round: all pairs of a sort round as one batch",
+        ),
+        Implementation(
+            "exec.round_merge.processes", "backend", "merge",
+            lambda a, b, p: _round_merge(a, b, p, "processes"),
+            tiers=("full",), injectable=True,
+            notes="RoundArena shared-memory staging; full tier only for speed",
         ),
         # ---- Algorithm 2 (SPM) --------------------------------------
         Implementation(

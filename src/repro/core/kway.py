@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..backends import Backend, get_backend
+from ..backends import Backend, TaskBatch, get_backend
 from ..validation import as_array, check_positive, check_sorted
 from .selection import kth_of_union_many
 from .sequential import merge_vectorized
@@ -112,9 +112,19 @@ def kway_merge(
 
     tasks = [make_task(k) for k in range(p) if offsets[k + 1] > offsets[k]]
     own_backend = isinstance(backend, str)
-    be = get_backend(backend, max_workers=p) if own_backend else backend
+    if own_backend:
+        from ..execution.pool import POOLED_BACKENDS, shared_backend
+
+        if backend in POOLED_BACKENDS:
+            be: Backend = shared_backend(backend, p)
+            own_backend = False  # lifetime owned by the shared pool cache
+        else:
+            be = get_backend(backend, max_workers=p)
+    else:
+        be = backend
     try:
-        be.run_tasks(tasks)
+        be.run_batch(TaskBatch(tasks, label="kway.merge",
+                               meta={"slabs": len(tasks)}))
     finally:
         if own_backend:
             be.close()

@@ -10,6 +10,11 @@ parallel merge ("this is no longer the case in later rounds").
 
 ``merge_sort_rounds`` exposes the round-by-round schedule (which merge
 ran with how many cooperating processors) for the SORT experiment.
+
+Execution is batched (:mod:`repro.execution`): all segment tasks of all
+pairs in a round ship as **one** :class:`~repro.backends.TaskBatch`, so
+a sort call costs one backend dispatch per round — ``O(log N)`` total —
+instead of one per pair (``O(p · log N)``).
 """
 
 from __future__ import annotations
@@ -23,13 +28,11 @@ from ..backends import Backend
 from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats
 from ..validation import as_array, check_positive
-from .merge_path import partition_merge_path
 from .parallel_merge import (
     _TracerScope,
     _flush_telemetry,
     _resolve_execution,
     _snapshot,
-    merge_partition,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,12 +48,19 @@ class RoundInfo:
 
     ``pairs`` is the number of array pairs merged this round and
     ``procs_per_pair`` how many processors cooperated inside each merge.
+    ``dispatches`` is the number of backend fork/join dispatches the
+    round costs under the batched execution engine — always 1: every
+    segment task of every pair ships in one
+    :class:`~repro.backends.TaskBatch`, and an odd run carried to the
+    next round costs nothing (it is *not* re-dispatched as a degenerate
+    single-task batch).
     """
 
     round_index: int
     pairs: int
     procs_per_pair: int
     run_length: int
+    dispatches: int = 1
 
 
 def merge_sort_rounds(n: int, p: int) -> list[RoundInfo]:
@@ -145,32 +155,34 @@ def parallel_merge_sort(
     before = _snapshot(local_stats)
 
     be, owned, t_start = _resolve_execution(
-        backend, p, resilience, telemetry, metrics
+        backend, p, resilience, telemetry, metrics, n=n, trace=trace
     )
+    d_start = be.dispatches
     try:
         with _TracerScope(be, trace):
-            # --- Round 0: independent chunk sorts, one per processor.
-            chunks = min(p, n)
-            bounds = [(k * n) // chunks for k in range(chunks + 1)]
-            runs: list[np.ndarray] = [
-                arr[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
-            ]
+            from ..execution.engine import run_chunk_sorts, run_merge_round
 
-            def sort_chunk(chunk: np.ndarray) -> np.ndarray:
-                if base_sort == "numpy":
-                    return np.sort(chunk, kind="mergesort")  # stable, like ours
-                return _sequential_merge_sort(chunk, local_stats)
+            # --- Round 0: independent chunk sorts, one batched dispatch.
+            chunks = min(p, n)
+            sort_chunk = None
+            if base_sort != "numpy":
+                def sort_chunk(chunk: np.ndarray) -> np.ndarray:
+                    return _sequential_merge_sort(chunk, local_stats)
 
             span0 = (
-                trace.span("sort.round", round=0, pairs=0, chunks=len(runs),
+                trace.span("sort.round", round=0, pairs=0, chunks=chunks,
                            run_length=(n + chunks - 1) // chunks)
                 if trace is not None
                 else NULL_SPAN
             )
             with span0:
-                runs = be.map(sort_chunk, runs)
+                runs = run_chunk_sorts(
+                    arr, chunks, backend=be, base_sort=base_sort,
+                    sort_chunk=sort_chunk, trace=trace, metrics=metrics,
+                )
 
-            # --- Merge rounds: pair adjacent runs until one remains.
+            # --- Merge rounds: every pair of a round rides one batch;
+            # an odd run out carries to the next round dispatch-free.
             round_index = 1
             while len(runs) > 1:
                 procs_per_pair = max(1, p // (len(runs) // 2))
@@ -182,22 +194,11 @@ def parallel_merge_sort(
                     else NULL_SPAN
                 )
                 with round_span:
-                    next_runs: list[np.ndarray] = []
-                    # Merge pairs; an odd run out carries to next round.
-                    for i in range(0, len(runs) - 1, 2):
-                        a, b = runs[i], runs[i + 1]
-                        part = partition_merge_path(
-                            a, b, procs_per_pair, check=False,
-                            stats=local_stats, tracer=trace,
-                        )
-                        merged = merge_partition(
-                            a, b, part, backend=be, kernel=kernel,
-                            stats=local_stats, trace=trace, metrics=metrics,
-                        )
-                        next_runs.append(merged)
-                    if len(runs) % 2:
-                        next_runs.append(runs[-1])
-                    runs = next_runs
+                    runs = run_merge_round(
+                        runs, procs_per_pair, backend=be, kernel=kernel,
+                        stats=local_stats, trace=trace, metrics=metrics,
+                        round_index=round_index,
+                    )
                 if metrics is not None:
                     metrics.counter("sort.rounds").inc()
                 round_index += 1
@@ -206,6 +207,9 @@ def parallel_merge_sort(
         _flush_telemetry(be, t_start, telemetry)
         if metrics is not None:
             metrics.counter("sort.calls").inc()
+            dispatched = be.dispatches - d_start
+            metrics.counter("exec.dispatches").inc(dispatched)
+            metrics.gauge("exec.dispatches_per_call").set(dispatched)
             if local_stats is not None:
                 metrics.record_merge_delta(before, local_stats)
         if owned:

@@ -25,7 +25,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from ..backends import Backend, get_backend
+from ..backends import Backend, TaskBatch, get_backend
 from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats, Partition
 from ..validation import as_array, check_mergeable, check_positive
@@ -132,6 +132,7 @@ def merge_partition(
                 trace.span(
                     "segment.merge",
                     index=seg.index,
+                    worker=seg.index,
                     a_start=seg.a_start, a_end=seg.a_end,
                     b_start=seg.b_start, b_end=seg.b_end,
                     out_start=seg.out_start, out_end=seg.out_end,
@@ -159,7 +160,10 @@ def merge_partition(
         for seg, st in zip(partition.segments, per_task_stats)
         if seg.length > 0
     ]
-    results = backend.run_tasks(tasks)  # blocks: the Algorithm 1 barrier
+    results = backend.run_batch(  # blocks: the Algorithm 1 barrier
+        TaskBatch(tasks, label="merge.partition",
+                  meta={"segments": len(tasks)})
+    )
     if stats is not None:
         for st in per_task_stats:
             if st is not None:
@@ -178,6 +182,9 @@ def _resolve_execution(
     resilience: "RetryPolicy | bool | None",
     telemetry: "ExecutionTelemetry | None",
     metrics: "MetricsRegistry | None" = None,
+    *,
+    n: int | None = None,
+    trace: "Tracer | None" = None,
 ) -> tuple[Backend, bool, int]:
     """Shared backend setup for the parallel entry points.
 
@@ -186,13 +193,42 @@ def _resolve_execution(
     how many telemetry batches it had already recorded (so only this
     call's batches are copied into the caller's sink afterwards).
 
+    String-named pooled backends (``serial``/``threads``/``processes``)
+    resolve to the process-wide shared instances of
+    :mod:`repro.execution.pool` — their worker pools persist across
+    calls and are **not** closed by the caller (``owned`` stays False
+    unless a resilience wrapper is added, in which case only the
+    wrapper is owned).  When ``n`` is given, the call is untraced and
+    the name is pooled, the adaptive autotuner may reroute the name to
+    a faster backend for that size (:mod:`repro.execution.autotune`);
+    explicit ``Backend`` instances and traced calls are never rerouted.
+    Traced calls also skip the shared pools and get a dedicated cold
+    pool (closed afterwards): a warm pool may multiplex every segment
+    onto one OS thread, which would gut the per-worker trace view.
+
     When ``metrics`` is given, any telemetry sink on the resolved
     backend that is not already bound to a registry is bound to it, so
     resilience counters (retries, timeouts, speculations, ...) land in
     the same unified registry as the kernel counts.
     """
+    from ..execution.autotune import get_autotuner
+    from ..execution.pool import POOLED_BACKENDS, shared_backend
+
     owned = isinstance(backend, str)
-    be = get_backend(backend, max_workers=p) if owned else backend
+    if owned:
+        name = backend
+        if n is not None and trace is None:
+            name = get_autotuner().choose_backend(name, n)
+        if trace is not None or name not in POOLED_BACKENDS:
+            # Traced calls get a dedicated cold pool: a warm shared pool
+            # may multiplex every segment onto one OS thread, which
+            # would make the per-worker trace view meaningless.
+            be = get_backend(name, max_workers=p)
+        else:
+            be: Backend = shared_backend(name, p)
+            owned = False  # lifetime belongs to the shared pool cache
+    else:
+        be = backend
     if resilience:
         from ..resilience import ResilientBackend, RetryPolicy
 
@@ -245,10 +281,16 @@ def parallel_merge(
     backend:
         A :class:`~repro.backends.Backend` instance or registry name
         (``"serial"``, ``"threads"``, ``"processes"``, ``"simulated"``).
-        String names construct a fresh backend per call; pass an
-        instance to reuse pools across calls.
+        Pooled names resolve to process-wide shared instances whose
+        worker pools persist across calls (:mod:`repro.execution.pool`),
+        and — on untraced calls — may be rerouted by the per-host
+        autotuner (e.g. ``"threads"`` → ``"serial"`` below the measured
+        fork/join crossover; disable with ``REPRO_AUTOTUNE=0``).
+        Explicit instances are used verbatim and never rerouted.
     kernel:
-        In-segment merge kernel (see :data:`repro.core.sequential.KERNELS`).
+        In-segment merge kernel (see
+        :data:`repro.core.sequential.KERNELS`), or ``"auto"`` to let the
+        autotuner pick per segment length.
     check:
         Validate input sortedness (O(N) vectorized scan).
     oversubscribe:
@@ -301,13 +343,22 @@ def parallel_merge(
         local_stats = MergeStats()
     before = _snapshot(local_stats)
 
+    n = len(a) + len(b)
+    if kernel == "auto":
+        from ..execution.autotune import get_autotuner
+
+        kernel = get_autotuner().resolve_kernel(
+            kernel, max(1, n // (p * oversubscribe))
+        )
+
     partition = partition_merge_path(
         a, b, p * oversubscribe, check=False, stats=local_stats, tracer=trace
     )
 
     be, owned, t_start = _resolve_execution(
-        backend, p, resilience, telemetry, metrics
+        backend, p, resilience, telemetry, metrics, n=n, trace=trace
     )
+    d_start = be.dispatches
     try:
         with _TracerScope(be, trace):
             return merge_partition(
@@ -318,6 +369,9 @@ def parallel_merge(
         _flush_telemetry(be, t_start, telemetry)
         if metrics is not None:
             metrics.counter("merge.calls").inc()
+            dispatched = be.dispatches - d_start
+            metrics.counter("exec.dispatches").inc(dispatched)
+            metrics.gauge("exec.dispatches_per_call").set(dispatched)
             if local_stats is not None:
                 metrics.record_merge_delta(before, local_stats)
         if owned:
@@ -329,8 +383,8 @@ def merge(
     b: Sequence | np.ndarray,
     *,
     p: int = 1,
-    backend: Backend | str = "serial",
-    kernel: str = "vectorized",
+    backend: Backend | str = "auto",
+    kernel: str = "auto",
     check: bool = True,
 ) -> np.ndarray:
     """Friendly top-level merge.
@@ -338,5 +392,14 @@ def merge(
     ``merge(a, b)`` is a stable sequential merge; pass ``p`` and a
     backend to parallelize.  This is the function the quickstart example
     showcases.
+
+    Defaults are adaptive: ``backend="auto"`` resolves to ``"serial"``
+    for ``p == 1`` and ``"threads"`` otherwise, then the autotuner
+    (:mod:`repro.execution.autotune`) reroutes by measured per-host
+    crossovers; ``kernel="auto"`` picks the two-pointer loop for tiny
+    segments and the vectorized kernel everywhere else.  Pass explicit
+    names (or set ``REPRO_AUTOTUNE=0``) to pin the configuration.
     """
+    if backend == "auto":
+        backend = "serial" if p == 1 else "threads"
     return parallel_merge(a, b, p, backend=backend, kernel=kernel, check=check)

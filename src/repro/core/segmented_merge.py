@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
-from ..backends import Backend, get_backend
+from ..backends import Backend, TaskBatch, get_backend
 from ..errors import InputError
 from ..obs.tracer import NULL_SPAN
 from ..types import MergeStats, Partition, Segment
@@ -165,7 +165,17 @@ def segmented_parallel_merge(
 
     out = np.empty(len(a) + len(b), dtype=result_dtype(a, b))
     own_backend = isinstance(backend, str)
-    be = get_backend(backend, max_workers=p) if own_backend else backend
+    if own_backend:
+        from ..execution.pool import POOLED_BACKENDS, shared_backend
+
+        if backend in POOLED_BACKENDS:
+            be: Backend = shared_backend(backend, p)
+            own_backend = False  # lifetime owned by the shared pool cache
+        else:
+            be = get_backend(backend, max_workers=p)
+    else:
+        be = backend
+    d_start = be.dispatches
 
     def make_task(block: Segment, seg: Segment, seg_stats: MergeStats | None):
         def task() -> None:
@@ -217,7 +227,10 @@ def segmented_parallel_merge(
                     ]
                     if tasks:
                         # per-block barrier (step 3 of Algorithm 2)
-                        be.run_tasks(tasks)
+                        be.run_batch(TaskBatch(
+                            tasks, label="spm.block",
+                            meta={"block": block.index},
+                        ))
                     if local_stats is not None:
                         for st in per_seg_stats:
                             if st is not None:
@@ -231,6 +244,10 @@ def segmented_parallel_merge(
     finally:
         if metrics is not None:
             metrics.counter("spm.calls").inc()
+            # One dispatch per cache block (the per-block barrier).
+            dispatched = be.dispatches - d_start
+            metrics.counter("exec.dispatches").inc(dispatched)
+            metrics.gauge("exec.dispatches_per_call").set(dispatched)
             if local_stats is not None:
                 metrics.record_merge_delta(before, local_stats)
         if own_backend:

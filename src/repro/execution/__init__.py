@@ -1,0 +1,46 @@
+"""Batched execution engine + adaptive autotuner for the hot paths.
+
+This package is the dispatch layer between the algorithms in
+:mod:`repro.core` and the executors in :mod:`repro.backends`:
+
+* :mod:`~repro.execution.engine` — fuse every segment task of a phase
+  (a whole sort round, all chunk sorts) into one
+  :class:`~repro.backends.TaskBatch` → one fork/join barrier, so a sort
+  call performs ``O(log N)`` dispatches instead of ``O(p · log N)``.
+* :mod:`~repro.execution.pool` — process-wide persistent backends for
+  string-named requests; worker pools are built once per host process,
+  never per call.
+* :mod:`~repro.execution.arena` — shared-memory staging of whole rounds
+  for the process backend (two blocks per round, picklable offset
+  jobs).
+* :mod:`~repro.execution.autotune` — measured per-host crossover
+  thresholds (serial↔threads↔processes, two-pointer↔vectorized),
+  persisted and consulted by the core entry points for string-named
+  backends on untraced calls.
+"""
+
+from .autotune import (
+    Autotuner,
+    Thresholds,
+    autotune_enabled,
+    clear_cache,
+    get_autotuner,
+)
+from .arena import ChunkSortArena, RoundArena
+from .engine import run_chunk_sorts, run_merge_round
+from .pool import close_shared_backends, is_shared, shared_backend
+
+__all__ = [
+    "Autotuner",
+    "Thresholds",
+    "autotune_enabled",
+    "clear_cache",
+    "get_autotuner",
+    "ChunkSortArena",
+    "RoundArena",
+    "run_chunk_sorts",
+    "run_merge_round",
+    "close_shared_backends",
+    "is_shared",
+    "shared_backend",
+]

@@ -1,0 +1,316 @@
+"""Adaptive crossover calibration for the merge/sort hot paths.
+
+The paper's speedups assume p hardware threads and N large enough that
+partitioning cost (p·log N probes) vanishes against merge work (N/p per
+core).  On a real host neither is guaranteed: below some N the serial
+vectorized kernel beats any fork/join, below some segment length the
+pure-Python two-pointer loop beats numpy's ``searchsorted`` setup, and
+the threads/processes choice depends on core count and fork cost.
+Those crossover points are *host properties*, so we measure them once
+per host with quick timing probes, persist them, and consult them on
+every call made with a string backend name.
+
+Policy knobs (all overridable by environment):
+
+``REPRO_AUTOTUNE=0``
+    Kill switch — no calibration, no rerouting; requested backends and
+    kernels are used verbatim.
+``REPRO_AUTOTUNE_CACHE=/path/file.json``
+    Where calibrated thresholds persist (default
+    ``~/.cache/repro/autotune-<host>-py<maj>.<min>.json``).
+
+The tuner only ever *reroutes, never changes semantics*: results are
+bit-identical whichever backend or kernel runs, because every kernel
+implements the same stable merge and every backend executes the same
+disjoint-slice tasks (Theorem 14).  Rerouting applies only when the
+caller passed a backend *name* (an explicit ``Backend`` instance is a
+deliberate choice) and only for untraced calls (a traced run is a
+measurement of the requested configuration, not a request for speed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Thresholds",
+    "Autotuner",
+    "get_autotuner",
+    "clear_cache",
+    "autotune_enabled",
+    "NEVER",
+]
+
+#: Sentinel threshold meaning "this crossover is never reached".
+NEVER = 1 << 62
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """Calibrated crossover points, all in total output elements ``N``.
+
+    ``serial_cutover``
+        Below this N, rerun pooled-backend requests on the serial
+        backend — fork/join overhead exceeds the merge itself.
+    ``process_cutover``
+        At or above this N, prefer processes over threads (GIL-bound
+        hosts); :data:`NEVER` disables the promotion.
+    ``tiny_kernel_cutover``
+        Below this *segment* length, the two-pointer loop beats the
+        vectorized kernel's numpy setup cost (``kernel="auto"`` only).
+    """
+
+    serial_cutover: int = 4096
+    process_cutover: int = NEVER
+    tiny_kernel_cutover: int = 16
+    calibrated: bool = False
+    source: str = "default"
+
+
+def autotune_enabled() -> bool:
+    """Whether adaptive rerouting is on (``REPRO_AUTOTUNE`` != 0)."""
+    return os.environ.get("REPRO_AUTOTUNE", "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def _default_cache_path() -> Path:
+    override = os.environ.get("REPRO_AUTOTUNE_CACHE")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    host = platform.node() or "unknown-host"
+    tag = f"py{sys.version_info.major}.{sys.version_info.minor}"
+    return Path(base) / "repro" / f"autotune-{host}-{tag}.json"
+
+
+def _best_time(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Min-of-repeats wall time; min rejects scheduler noise upward."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _probe_arrays(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaved sorted halves — worst case for galloping, neutral
+    for the kernels under test, and free of RNG cost."""
+    return (
+        np.arange(0, n, 2, dtype=np.int64),
+        np.arange(1, n, 2, dtype=np.int64),
+    )
+
+
+class Autotuner:
+    """Lazily calibrated, persisted crossover thresholds for one host.
+
+    ``thresholds()`` is the only consultation point: the first call
+    loads the per-host cache or runs the probe suite (a few hundred
+    milliseconds, once per host, best-effort — any probe failure falls
+    back to conservative defaults and does not propagate).
+    """
+
+    def __init__(self, cache_path: Path | None = None) -> None:
+        self._cache_path = cache_path
+        self._lock = threading.Lock()
+        self._thresholds: Thresholds | None = None
+
+    @property
+    def cache_path(self) -> Path:
+        return self._cache_path or _default_cache_path()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> Thresholds | None:
+        try:
+            raw = json.loads(self.cache_path.read_text())
+            return Thresholds(
+                serial_cutover=int(raw["serial_cutover"]),
+                process_cutover=int(raw["process_cutover"]),
+                tiny_kernel_cutover=int(raw["tiny_kernel_cutover"]),
+                calibrated=bool(raw.get("calibrated", True)),
+                source=f"cache:{self.cache_path}",
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _store(self, th: Thresholds) -> None:
+        try:
+            path = self.cache_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = asdict(th)
+            payload["source"] = "probe"
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        except OSError:
+            pass  # persistence is an optimization, never a requirement
+
+    def clear(self) -> None:
+        """Forget calibration in memory and on disk."""
+        with self._lock:
+            self._thresholds = None
+            try:
+                self.cache_path.unlink()
+            except OSError:
+                pass
+
+    # -- calibration ---------------------------------------------------
+
+    def calibrate(self) -> Thresholds:
+        """Run the probe suite now and persist the result."""
+        th = self._probe()
+        self._store(th)
+        with self._lock:
+            self._thresholds = th
+        return th
+
+    def thresholds(self) -> Thresholds:
+        """Calibrated thresholds (cached → probed → defaults)."""
+        with self._lock:
+            if self._thresholds is not None:
+                return self._thresholds
+        loaded = self._load()
+        if loaded is not None:
+            with self._lock:
+                self._thresholds = loaded
+            return loaded
+        try:
+            th = self._probe()
+            self._store(th)
+        except Exception:  # noqa: BLE001 - probes are best-effort
+            th = Thresholds(source="probe-failed")
+        with self._lock:
+            self._thresholds = th
+        return th
+
+    def _probe(self) -> Thresholds:
+        from ..core.parallel_merge import parallel_merge
+        from ..core.sequential import merge_two_pointer, merge_vectorized
+        from .pool import shared_backend
+
+        p = min(4, os.cpu_count() or 1)
+
+        # Crossover 1: serial vectorized merge vs. pooled thread merge.
+        serial_cutover = NEVER
+        if p > 1:
+            be = shared_backend("threads", p)
+            be.run_tasks([lambda: None])  # warm the pool out of the timing
+            for exp in (12, 14, 16, 18):
+                n = 1 << exp
+                a, b = _probe_arrays(n)
+                t_serial = _best_time(
+                    lambda: merge_vectorized(a, b, check=False))
+                t_par = _best_time(
+                    lambda: parallel_merge(a, b, p, backend=be, check=False))
+                if t_par < t_serial * 0.95:
+                    serial_cutover = n
+                    break
+
+        # Crossover 2: threads vs. processes at one substantial size.
+        process_cutover = NEVER
+        if p > 1 and serial_cutover != NEVER:
+            n = max(serial_cutover, 1 << 17)
+            a, b = _probe_arrays(n)
+            try:
+                pe = shared_backend("processes", p)
+                pe.run_tasks([lambda: None])  # fork cost out of the timing
+                te = shared_backend("threads", p)
+                t_proc = _best_time(
+                    lambda: parallel_merge(a, b, p, backend=pe, check=False),
+                    repeats=2,
+                )
+                t_thr = _best_time(
+                    lambda: parallel_merge(a, b, p, backend=te, check=False),
+                    repeats=2,
+                )
+                if t_proc < t_thr * 0.9:
+                    process_cutover = n
+            except Exception:  # noqa: BLE001 - sandboxes may forbid fork/shm
+                process_cutover = NEVER
+
+        # Crossover 3: two-pointer vs. vectorized on tiny segments.
+        tiny_kernel_cutover = 0
+        for n in (8, 16, 32, 64, 128):
+            a, b = _probe_arrays(n)
+            t_tp = _best_time(
+                lambda: merge_two_pointer(a, b, check=False), repeats=5)
+            t_vec = _best_time(
+                lambda: merge_vectorized(a, b, check=False), repeats=5)
+            if t_vec <= t_tp:
+                tiny_kernel_cutover = n
+                break
+        else:
+            tiny_kernel_cutover = 128
+
+        return Thresholds(
+            serial_cutover=serial_cutover,
+            process_cutover=process_cutover,
+            tiny_kernel_cutover=tiny_kernel_cutover,
+            calibrated=True,
+            source="probe",
+        )
+
+    # -- consultation --------------------------------------------------
+
+    def choose_backend(self, name: str, n: int) -> str:
+        """Best backend *name* for an N-element merge requested as ``name``.
+
+        Only the pooled names are ever rerouted, and only downward to
+        ``serial`` (below the fork/join crossover) or across from
+        ``threads`` to ``processes`` (above the GIL crossover).
+        """
+        if not autotune_enabled() or name not in ("threads", "processes"):
+            return name
+        th = self.thresholds()
+        if n < th.serial_cutover:
+            return "serial"
+        if name == "threads" and n >= th.process_cutover:
+            return "processes"
+        return name
+
+    def resolve_kernel(self, kernel: str, segment_length: int) -> str:
+        """Resolve ``kernel="auto"`` for a given per-segment length."""
+        if kernel != "auto":
+            return kernel
+        if not autotune_enabled():
+            return "vectorized"
+        th = self.thresholds()
+        return (
+            "two_pointer"
+            if segment_length < th.tiny_kernel_cutover
+            else "vectorized"
+        )
+
+    def seed(self, **overrides: int) -> None:
+        """Pin thresholds without probing (tests, reproducible runs)."""
+        with self._lock:
+            base = self._thresholds or Thresholds()
+            self._thresholds = replace(
+                base, **overrides, calibrated=True, source="seeded"
+            )
+
+
+_GLOBAL = Autotuner()
+
+
+def get_autotuner() -> Autotuner:
+    """The process-wide tuner consulted by the core entry points."""
+    return _GLOBAL
+
+
+def clear_cache() -> None:
+    """Drop the process-wide tuner's calibration (memory + disk)."""
+    _GLOBAL.clear()

@@ -39,7 +39,12 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class WorkerLoad:
-    """Aggregate of one OS worker's traced merge spans."""
+    """Aggregate of one worker's traced merge spans.
+
+    ``tid`` is the aggregation key: a logical worker-slot index (the
+    paper's processor ``k``) when the report was built ``by="worker"``,
+    or an OS thread id when built ``by="tid"``.
+    """
 
     tid: int
     spans: int
@@ -49,10 +54,18 @@ class WorkerLoad:
 
 @dataclass(frozen=True, slots=True)
 class LoadBalanceReport:
-    """Per-worker load shares for one traced execution."""
+    """Per-worker load shares for one traced execution.
+
+    ``by`` records the aggregation axis (``"worker"`` = logical
+    processor slots, ``"tid"`` = OS threads); ``os_threads`` counts the
+    distinct OS threads observed regardless of axis, so a report can
+    show both "4 logical workers" and "multiplexed onto 1 thread".
+    """
 
     workers: tuple[WorkerLoad, ...]
     span_name: str = "segment.merge"
+    by: str = "tid"
+    os_threads: int = 0
 
     @property
     def worker_count(self) -> int:
@@ -85,12 +98,18 @@ class LoadBalanceReport:
             return f"(no {self.span_name!r} spans recorded)"
         lines = [
             f"load balance over {self.worker_count} worker(s) "
-            f"[{self.span_name} spans]:"
+            f"[{self.span_name} spans, by {self.by}"
+            + (
+                f", on {self.os_threads} OS thread(s)"
+                if self.by == "worker" and self.os_threads
+                else ""
+            )
+            + "]:"
         ]
         for w in sorted(self.workers, key=lambda w: -w.busy_ns):
             lines.append(
-                f"  tid={w.tid}: spans={w.spans} busy={w.busy_ns / 1e6:.3f}ms "
-                f"elements={w.elements}"
+                f"  {self.by}={w.tid}: spans={w.spans} "
+                f"busy={w.busy_ns / 1e6:.3f}ms elements={w.elements}"
             )
         lines.append(
             f"  time max/mean={self.time_imbalance:.3f} "
@@ -100,18 +119,47 @@ class LoadBalanceReport:
 
 
 def load_balance_from_trace(
-    tracer: Tracer, span_name: str = "segment.merge"
+    tracer: Tracer, span_name: str = "segment.merge", *, by: str = "auto"
 ) -> LoadBalanceReport:
-    """Aggregate ``span_name`` spans per OS worker thread.
+    """Aggregate ``span_name`` spans per worker.
+
+    ``by`` selects the aggregation axis:
+
+    ``"worker"``
+        The logical worker-slot index the entry points attach to each
+        span (attribute ``worker`` — the paper's processor ``k``).
+        This is the axis Theorem 14 speaks about: with equispaced
+        diagonals, per-slot elements differ by at most one.
+    ``"tid"``
+        The OS thread that happened to run the span.  A warm pool may
+        multiplex several logical slots onto fewer threads (one, on a
+        single-core host) — a scheduling artifact, not a partitioning
+        one, so per-tid *work* imbalance can legitimately exceed 1 even
+        though the partition is perfect.
+    ``"auto"`` (default)
+        ``"worker"`` when every matching span carries the attribute,
+        ``"tid"`` otherwise (traces recorded before the attribute
+        existed).
 
     Element counts come from each span's ``length`` attribute (attached
     by the instrumented entry points); spans without it count time only.
     """
+    if by not in ("auto", "worker", "tid"):
+        raise ValueError(f"by must be 'auto', 'worker' or 'tid', got {by!r}")
+    records = [rec for rec in tracer.spans() if rec.name == span_name]
+    tids = {rec.tid for rec in records}
+    if by == "auto":
+        by = (
+            "worker"
+            if records and all(
+                isinstance(rec.args.get("worker"), int) for rec in records
+            )
+            else "tid"
+        )
     acc: dict[int, list[int]] = {}
-    for rec in tracer.spans():
-        if rec.name != span_name:
-            continue
-        entry = acc.setdefault(rec.tid, [0, 0, 0])
+    for rec in records:
+        key = rec.args.get("worker", rec.tid) if by == "worker" else rec.tid
+        entry = acc.setdefault(key, [0, 0, 0])
         entry[0] += 1
         entry[1] += rec.duration_ns
         length = rec.args.get("length")
@@ -121,7 +169,9 @@ def load_balance_from_trace(
         WorkerLoad(tid=tid, spans=n, busy_ns=busy, elements=elems)
         for tid, (n, busy, elems) in sorted(acc.items())
     )
-    return LoadBalanceReport(workers=workers, span_name=span_name)
+    return LoadBalanceReport(
+        workers=workers, span_name=span_name, by=by, os_threads=len(tids)
+    )
 
 
 def partition_work_spread(partition: Partition) -> int:

@@ -21,6 +21,11 @@ Metric name conventions (full table in ``docs/observability.md``):
     Algorithm 2 block count and per-block A-consumption share.
 ``sort.rounds``
     Merge rounds executed by the parallel sort.
+``exec.dispatches`` and gauge ``exec.dispatches_per_call``
+    Batched execution engine accounting: total backend fork/join
+    dispatches, and how many the most recent entry-point call cost.
+    Under the batched engine a sort call costs one dispatch per round
+    (``O(log N)``) and a parallel merge exactly one.
 ``resilience.dispatches`` / ``.retries`` / ``.timeouts`` /
 ``.speculations`` / ``.worker_deaths`` / ``.batches`` / ``.tasks``
     Fault-tolerant execution totals (fed by ``ExecutionTelemetry``).

@@ -371,14 +371,18 @@ class ResilientBackend(Backend):
 
         The arena's segment tasks are picklable and idempotent, so the
         full retry/timeout/speculation machinery applies to them —
-        including surviving a killed worker process.
+        including surviving a killed worker process.  The whole arena
+        ships as one :class:`~repro.backends.TaskBatch`: however many
+        per-task retries or speculative duplicates the supervisor
+        launches underneath, the caller sees a single dispatch.
         """
+        from ..backends import TaskBatch
         from ..backends.processes import ProcessBackend, SharedMergeArena
 
         if not isinstance(innermost_backend(self), ProcessBackend):
             return None
         with SharedMergeArena(np.asarray(a), np.asarray(b), partition) as arena:
-            self.run_tasks(arena.tasks())
+            self.run_batch(TaskBatch(arena.tasks(), label="merge.shared"))
             return arena.result()
 
     def close(self) -> None:

@@ -1,0 +1,113 @@
+"""Race detection and fault recovery for the *batched* round dispatch.
+
+``audited_batched_round`` tracks the whole round's output in one
+write-tracked array, so cross-pair strays — invisible to the per-pair
+auditor — are caught.  The chaos-side tests pin that a supervised batch
+retried task-by-task is still one dispatch and oracle-identical (the
+idempotence argument: Theorem 14 slices are disjoint, so re-running a
+failed segment task rewrites only its own region).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import ThreadBackend
+from repro.conformance.races import audited_batched_round
+from repro.execution.engine import run_merge_round
+from repro.resilience import FaultInjector, FaultyBackend, ResilientBackend
+from repro.workloads.generators import sorted_pair
+
+pytestmark = pytest.mark.conformance
+
+
+def _runs(count: int, size: int, seed: int = 21) -> list[np.ndarray]:
+    g = np.random.default_rng(seed)
+    return [np.sort(g.integers(0, 5000, size)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+@pytest.mark.parametrize("nruns", [2, 4, 5])
+def test_clean_batched_round_has_no_findings(backend, nruns):
+    findings = audited_batched_round(_runs(nruns, 120), 3, backend=backend)
+    assert findings == []
+
+
+def test_batched_round_with_duplicates_and_empty_runs():
+    runs = [
+        np.zeros(30, dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.zeros(17, dtype=np.int64),
+        np.zeros(30, dtype=np.int64),
+    ]
+    assert audited_batched_round(runs, 4) == []
+
+
+def test_single_run_round_is_trivially_clean():
+    assert audited_batched_round(_runs(1, 40), 2) == []
+
+
+def test_corrupted_claims_fire_the_detector():
+    runs = _runs(4, 64)
+    # Every task claims pair 0's first slice: all real writes by the
+    # other tasks land outside it.
+    lying = {tid: (0, 8) for tid in range(16)}
+    findings = audited_batched_round(
+        runs, 4, corrupt_task_slices=lying
+    )
+    assert any(f.kind == "out-of-slice" for f in findings), findings
+
+
+def test_cross_pair_claim_violation_is_visible():
+    a0, b0 = sorted_pair(40, 40, seed=2)
+    a1, b1 = sorted_pair(40, 40, seed=4)
+    # Swap the declared regions of the two pairs' tasks: each pair's
+    # writes now sit in the *other* pair's claimed region — exactly the
+    # cross-pair race a per-pair audit cannot express.
+    swapped = {0: (80, 160), 1: (0, 80)}
+    findings = audited_batched_round(
+        [a0, b0, a1, b1], 1, corrupt_task_slices=swapped
+    )
+    assert any(f.kind == "out-of-slice" for f in findings), findings
+
+
+def test_supervised_batch_recovers_and_stays_one_dispatch():
+    """Resilient(Faulty(threads)): first task errors, retry rewrites only
+    its own disjoint slice, caller still sees exactly one dispatch."""
+    runs = _runs(4, 200, seed=8)
+    injector = FaultInjector(seed=3, always_first="error")
+    be = ResilientBackend(
+        FaultyBackend(ThreadBackend(max_workers=4), injector)
+    )
+    try:
+        before = be.dispatches
+        merged = run_merge_round(runs, 3, backend=be)
+        assert be.dispatches - before == 1
+        assert injector.injected >= 1
+        assert be.last_batch is not None and be.last_batch.retries >= 1
+    finally:
+        be.close()
+    for i, out in enumerate(merged):
+        want = np.sort(
+            np.concatenate([runs[2 * i], runs[2 * i + 1]]), kind="mergesort"
+        )
+        assert np.array_equal(out, want)
+
+
+def test_supervised_batch_survives_scripted_multi_task_faults():
+    runs = _runs(6, 150, seed=9)
+    # Fail the first attempt of three different tasks across the batch.
+    injector = FaultInjector(
+        seed=7, scripted={(0, 0): "error", (3, 0): "error", (5, 0): "delay"}
+    )
+    be = ResilientBackend(
+        FaultyBackend(ThreadBackend(max_workers=4), injector)
+    )
+    try:
+        merged = run_merge_round(runs, 2, backend=be)
+    finally:
+        be.close()
+    for i, out in enumerate(merged):
+        want = np.sort(
+            np.concatenate([runs[2 * i], runs[2 * i + 1]]), kind="mergesort"
+        )
+        assert np.array_equal(out, want)

@@ -1,0 +1,131 @@
+"""Adaptive autotuner: thresholds, persistence, rerouting policy."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.execution.autotune import (
+    NEVER,
+    Autotuner,
+    Thresholds,
+    autotune_enabled,
+)
+
+
+def test_kill_switch_disables_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "0")
+    assert not autotune_enabled()
+    tuner = Autotuner()
+    tuner.seed(serial_cutover=1 << 40)
+    # No rerouting, no kernel adaptation — requests pass through verbatim.
+    assert tuner.choose_backend("threads", 16) == "threads"
+    assert tuner.resolve_kernel("auto", 2) == "vectorized"
+
+
+def test_choose_backend_reroutes_small_to_serial(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    tuner = Autotuner(cache_path=tmp_path / "tune.json")
+    tuner.seed(serial_cutover=10_000, process_cutover=NEVER)
+    assert tuner.choose_backend("threads", 9_999) == "serial"
+    assert tuner.choose_backend("processes", 512) == "serial"
+    assert tuner.choose_backend("threads", 10_000) == "threads"
+
+
+def test_choose_backend_promotes_threads_to_processes(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    tuner = Autotuner(cache_path=tmp_path / "tune.json")
+    tuner.seed(serial_cutover=1_000, process_cutover=1 << 20)
+    assert tuner.choose_backend("threads", 1 << 21) == "processes"
+    # processes stays processes; it is never demoted to threads.
+    assert tuner.choose_backend("processes", 1 << 21) == "processes"
+
+
+def test_choose_backend_never_touches_other_names(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    tuner = Autotuner(cache_path=tmp_path / "tune.json")
+    tuner.seed(serial_cutover=1 << 40)
+    assert tuner.choose_backend("serial", 4) == "serial"
+    assert tuner.choose_backend("simulated", 4) == "simulated"
+
+
+def test_resolve_kernel_auto_switches_on_segment_length(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    tuner = Autotuner(cache_path=tmp_path / "tune.json")
+    tuner.seed(tiny_kernel_cutover=32)
+    assert tuner.resolve_kernel("auto", 8) == "two_pointer"
+    assert tuner.resolve_kernel("auto", 32) == "vectorized"
+    # Explicit kernels pass through untouched.
+    assert tuner.resolve_kernel("galloping", 8) == "galloping"
+
+
+def test_persistence_round_trip(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    path = tmp_path / "tune.json"
+    tuner = Autotuner(cache_path=path)
+    tuner.seed(serial_cutover=12345, tiny_kernel_cutover=7)
+    tuner._store(tuner.thresholds())
+    assert path.exists()
+    fresh = Autotuner(cache_path=path)
+    th = fresh.thresholds()
+    assert th.serial_cutover == 12345
+    assert th.tiny_kernel_cutover == 7
+    assert th.calibrated
+    assert th.source.startswith("cache:")
+
+
+def test_corrupt_cache_falls_back_to_probe_or_defaults(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text("{not json")
+    tuner = Autotuner(cache_path=path)
+    assert tuner._load() is None
+
+
+def test_clear_removes_cache_file(monkeypatch, tmp_path):
+    path = tmp_path / "tune.json"
+    tuner = Autotuner(cache_path=path)
+    tuner.seed(serial_cutover=5)
+    tuner._store(tuner.thresholds())
+    assert path.exists()
+    tuner.clear()
+    assert not path.exists()
+
+
+def test_thresholds_calibrates_and_persists(monkeypatch, tmp_path):
+    """End-to-end probe run: real timings, written once, reloaded after."""
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    path = tmp_path / "tune.json"
+    tuner = Autotuner(cache_path=path)
+    th = tuner.thresholds()
+    assert th.calibrated
+    assert th.tiny_kernel_cutover >= 1
+    assert path.exists()
+    saved = json.loads(path.read_text())
+    assert saved["serial_cutover"] == th.serial_cutover
+
+
+def test_rerouted_calls_still_produce_identical_results(monkeypatch, tmp_path):
+    """Semantics never change under rerouting (same stable merge)."""
+    from repro.core.parallel_merge import parallel_merge
+    from repro.execution import autotune as at
+
+    monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+    tuner = Autotuner(cache_path=tmp_path / "tune.json")
+    tuner.seed(serial_cutover=1 << 30)  # everything reroutes to serial
+    monkeypatch.setattr(at, "_GLOBAL", tuner)
+
+    g = np.random.default_rng(3)
+    a = np.sort(g.integers(0, 1000, 600))
+    b = np.sort(g.integers(0, 1000, 400))
+    got = parallel_merge(a, b, 4, backend="threads")
+    want = np.sort(np.concatenate([a, b]), kind="mergesort")
+    assert np.array_equal(got, want)
+
+
+def test_default_thresholds_are_conservative():
+    th = Thresholds()
+    assert not th.calibrated
+    assert th.process_cutover == NEVER
+    assert th.source == "default"

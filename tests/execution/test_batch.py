@@ -1,0 +1,79 @@
+"""TaskBatch / run_batch semantics: one dispatch, one barrier, one span."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SerialBackend, TaskBatch, ThreadBackend
+from repro.errors import BatchError
+from repro.obs import Tracer
+
+
+def test_run_batch_counts_one_dispatch_regardless_of_size():
+    be = SerialBackend()
+    assert be.dispatches == 0
+    be.run_batch(TaskBatch([lambda: 1, lambda: 2, lambda: 3]))
+    assert be.dispatches == 1
+    be.run_batch(TaskBatch([lambda: 4]))
+    assert be.dispatches == 2
+
+
+def test_dispatch_counter_is_per_instance():
+    a, b = SerialBackend(), SerialBackend()
+    a.run_batch(TaskBatch([lambda: None]))
+    assert a.dispatches == 1
+    assert b.dispatches == 0
+
+
+def test_run_batch_returns_results_in_task_order():
+    be = ThreadBackend(max_workers=4)
+    try:
+        results = be.run_batch(
+            TaskBatch([(lambda i=i: i * i) for i in range(8)])
+        )
+        assert [r.value for r in results] == [i * i for i in range(8)]
+    finally:
+        be.close()
+
+
+def test_run_batch_emits_exec_batch_span_with_metadata():
+    be = SerialBackend()
+    tracer = Tracer()
+    be.tracer = tracer
+    be.run_batch(TaskBatch([lambda: None, lambda: None],
+                           label="sort.round", meta={"round": 3}))
+    spans = [s for s in tracer.spans() if s.name == "exec.batch"]
+    assert len(spans) == 1
+    assert spans[0].args["label"] == "sort.round"
+    assert spans[0].args["size"] == 2
+    assert spans[0].args["round"] == 3
+
+
+def test_run_batch_propagates_batch_error():
+    def boom():
+        raise ValueError("nope")
+
+    be = SerialBackend()
+    with pytest.raises(BatchError):
+        be.run_batch(TaskBatch([lambda: 1, boom]))
+    assert be.dispatches == 1  # a failed batch is still one dispatch
+
+
+def test_map_routes_through_run_batch():
+    be = SerialBackend()
+    assert be.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+    assert be.dispatches == 1
+
+
+def test_thread_pool_persists_across_batches():
+    be = ThreadBackend(max_workers=2)
+    try:
+        assert be._pool is None  # lazy: construction pays nothing
+        be.run_batch(TaskBatch([lambda: None]))
+        pool = be._pool
+        assert pool is not None
+        be.run_batch(TaskBatch([lambda: None]))
+        assert be._pool is pool  # reused, not rebuilt
+    finally:
+        be.close()
+    assert be._pool is None

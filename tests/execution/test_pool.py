@@ -1,0 +1,65 @@
+"""Process-wide shared backend cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import SerialBackend, ThreadBackend
+from repro.errors import InputError
+from repro.execution.pool import (
+    close_shared_backends,
+    is_shared,
+    shared_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    close_shared_backends()
+    yield
+    close_shared_backends()
+
+
+def test_same_key_returns_same_instance():
+    a = shared_backend("threads", 4)
+    b = shared_backend("threads", 4)
+    assert a is b
+    assert isinstance(a, ThreadBackend)
+
+
+def test_distinct_worker_counts_are_distinct_instances():
+    assert shared_backend("threads", 2) is not shared_backend("threads", 4)
+
+
+def test_serial_is_cached_too():
+    assert isinstance(shared_backend("serial", 1), SerialBackend)
+    assert shared_backend("serial", 1) is shared_backend("serial", 1)
+
+
+def test_is_shared_distinguishes_cached_from_private():
+    shared = shared_backend("threads", 2)
+    private = ThreadBackend(max_workers=2)
+    try:
+        assert is_shared(shared)
+        assert not is_shared(private)
+    finally:
+        private.close()
+
+
+def test_close_shared_backends_resets_cache():
+    a = shared_backend("threads", 2)
+    close_shared_backends()
+    assert not is_shared(a)
+    assert shared_backend("threads", 2) is not a
+
+
+def test_non_pooled_names_construct_fresh():
+    a = shared_backend("simulated")
+    b = shared_backend("simulated")
+    assert a is not b
+    assert not is_shared(a)
+
+
+def test_unknown_name_raises_input_error():
+    with pytest.raises(InputError):
+        shared_backend("warp-drive")

@@ -1,0 +1,102 @@
+"""The bench regression gate: row matching, thresholds, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.bench import BENCH_SCHEMA, compare_bench, format_comparison
+
+
+def doc(rows, schema=BENCH_SCHEMA):
+    return {"schema": schema, "results": rows}
+
+
+def row(op="parallel_merge", n=1000, p=4, ns=10.0, **extra):
+    return {"op": op, "n": n, "p": p, "ns_per_elem": ns, **extra}
+
+
+def test_identical_documents_are_all_ok():
+    base = doc([row(), row(op="sort", p=2, ns=55.0)])
+    cmp = compare_bench(base, base)
+    assert not cmp["warned"] and not cmp["failed"]
+    assert all(r["status"] == "ok" for r in cmp["rows"])
+    assert cmp["worst"] == 0.0
+
+
+def test_improvement_is_ok_and_negative_delta():
+    cmp = compare_bench(doc([row(ns=10.0)]), doc([row(ns=7.0)]))
+    (r,) = cmp["rows"]
+    assert r["status"] == "ok"
+    assert r["delta"] == pytest.approx(-0.3)
+    assert cmp["worst"] == pytest.approx(-0.3)
+
+
+def test_regression_past_warn_threshold_warns():
+    cmp = compare_bench(
+        doc([row(ns=10.0)]), doc([row(ns=14.0)]),
+        warn_frac=0.25, fail_frac=1.0,
+    )
+    (r,) = cmp["rows"]
+    assert r["status"] == "warn"
+    assert cmp["warned"] and not cmp["failed"]
+
+
+def test_regression_past_fail_threshold_fails():
+    cmp = compare_bench(doc([row(ns=10.0)]), doc([row(ns=14.0)]))
+    (r,) = cmp["rows"]
+    assert r["status"] == "fail"
+    assert cmp["failed"]
+
+
+def test_warn_only_mode_never_fails():
+    # The CI perf-smoke job: warn at 25%, fail only past 2x.
+    cmp = compare_bench(
+        doc([row(ns=10.0)]), doc([row(ns=19.0)]),
+        warn_frac=0.25, fail_frac=1.0,
+    )
+    assert cmp["warned"] and not cmp["failed"]
+    cmp = compare_bench(
+        doc([row(ns=10.0)]), doc([row(ns=21.0)]),
+        warn_frac=0.25, fail_frac=1.0,
+    )
+    assert cmp["failed"]
+
+
+def test_rows_match_on_op_n_p():
+    base = doc([row(p=2, ns=10.0), row(p=4, ns=10.0)])
+    cur = doc([row(p=2, ns=10.0), row(p=4, ns=99.0)])
+    by_p = {r["p"]: r for r in compare_bench(base, cur)["rows"]}
+    assert by_p[2]["status"] == "ok"
+    assert by_p[4]["status"] == "fail"
+
+
+def test_unmatched_rows_reported_but_never_gate():
+    base = doc([row(op="gone", ns=10.0)])
+    cur = doc([row(op="new", ns=999.0)])
+    cmp = compare_bench(base, cur)
+    assert {r["status"] for r in cmp["rows"]} == {"unmatched"}
+    assert not cmp["warned"] and not cmp["failed"]
+    assert cmp["worst"] is None
+
+
+def test_v1_baseline_documents_are_accepted():
+    # Pre-engine snapshots lack os_threads/work_spread/dispatches; the
+    # gate only reads ns_per_elem.
+    base = doc([row(ns=10.0)], schema="repro-bench/1")
+    cmp = compare_bench(base, doc([row(ns=10.0)]))
+    assert cmp["rows"][0]["status"] == "ok"
+
+
+def test_zero_baseline_never_divides():
+    cmp = compare_bench(doc([row(ns=0.0)]), doc([row(ns=5.0)]))
+    assert cmp["rows"][0]["delta"] == 0.0
+
+
+def test_format_comparison_renders_every_row_and_worst():
+    base = doc([row(ns=10.0), row(op="absent", ns=3.0)])
+    cur = doc([row(ns=14.0)])
+    text = format_comparison(compare_bench(base, cur))
+    assert "parallel_merge" in text
+    assert "absent" in text
+    assert "fail" in text and "unmatched" in text
+    assert "worst delta: +40.0%" in text

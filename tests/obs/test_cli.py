@@ -45,12 +45,13 @@ class TestBenchVerb:
         rc = main(["bench", "--quick", "--out", str(out)])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench/1"
+        assert doc["schema"] == "repro-bench/2"
         assert doc["quick"] is True
         assert doc["results"]
         row = doc["results"][0]
         for key in ("op", "n", "p", "ns_per_elem", "time_imbalance",
-                    "work_imbalance", "workers"):
+                    "work_imbalance", "workers", "os_threads",
+                    "work_spread", "dispatches"):
             assert key in row
 
 
