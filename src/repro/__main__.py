@@ -24,6 +24,14 @@ trace EXP_ID
     snapshot.  ``--out trace.json`` chooses the path.
 bench
     Run the regression bench suite and write ``BENCH_<date>.json``.
+doctor
+    One-shot operability verdict: probe the host, replay the canary
+    workload through the tuned path, print PASS/WARN/FAIL per SLO
+    clause with the offending metric.  ``--json verdict.json`` writes
+    the structured verdict; exit status 1 on any FAIL clause.
+tune
+    The continuous control loop: run the canary, evaluate the SLO,
+    retune the autotuner; ``--watch`` repeats for ``--cycles`` rounds.
 
 Unknown flags are an error (exit status 2 via argparse).  For
 backwards compatibility, bare experiment ids still work — ``python -m
@@ -45,7 +53,7 @@ _LEGACY_FLAGS = ("--quick", "--full", "--chart", "--chaos")
 
 _SUBCOMMANDS = (
     "run", "report", "selftest", "scorecard", "conformance", "api",
-    "trace", "bench",
+    "trace", "bench", "doctor", "tune",
 )
 
 
@@ -64,7 +72,7 @@ def _fig5_chart(result: ExperimentResult) -> str:
 def _print_listing() -> None:
     print("usage: python -m repro SUBCOMMAND ... "
           "(run | report | selftest | scorecard | conformance | api | "
-          "trace | bench)\n")
+          "trace | bench | doctor | tune)\n")
     print("available experiments (python -m repro run EXP_ID ...):")
     for exp_id, (_fn, desc) in EXPERIMENTS.items():
         print(f"  {exp_id:<8} {desc}")
@@ -78,6 +86,10 @@ def _print_listing() -> None:
     print("  trace        capture a Chrome-trace of a workload "
           "(--out trace.json)")
     print("  bench        emit a BENCH_<date>.json regression snapshot")
+    print("  doctor       one-shot SLO verdict for this host "
+          "(--quick, --json out.json)")
+    print("  tune         obs→autotune control loop "
+          "(--watch --cycles N --interval S)")
 
 
 def _normalize(argv: list[str]) -> list[str]:
@@ -158,6 +170,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          "baseline; nonzero exit past --max-regress")
     p_bench.add_argument("--warn-regress", type=float, default=0.25)
     p_bench.add_argument("--max-regress", type=float, default=None)
+
+    p_doc = sub.add_parser(
+        "doctor", help="one-shot SLO verdict: probe host, replay canary")
+    p_doc.add_argument("--quick", action="store_true",
+                       help="smaller canary, skip the process-backend probe")
+    p_doc.add_argument("--full", action="store_true",
+                       help=argparse.SUPPRESS)
+    p_doc.add_argument("--seed", type=int, default=7)
+    p_doc.add_argument("--slo", default=None, metavar="SLO.json",
+                       help="JSON file overriding the default SLO")
+    p_doc.add_argument("--json", default=None, metavar="OUT.json",
+                       dest="json_out",
+                       help="also write the structured verdict here")
+
+    p_tune = sub.add_parser(
+        "tune", help="obs→autotune→SLO control loop over the canary")
+    p_tune.add_argument("--watch", action="store_true",
+                        help="repeat for --cycles rounds instead of one")
+    p_tune.add_argument("--cycles", type=int, default=5)
+    p_tune.add_argument("--interval", type=float, default=1.0,
+                        metavar="SECONDS")
+    p_tune.add_argument("--quick", action="store_true",
+                        help="smaller canary per cycle")
+    p_tune.add_argument("--full", action="store_true",
+                        help=argparse.SUPPRESS)
+    p_tune.add_argument("--seed", type=int, default=7)
+    p_tune.add_argument("--slo", default=None, metavar="SLO.json")
 
     return parser
 
@@ -243,6 +282,42 @@ def _cmd_bench(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(ns: argparse.Namespace) -> int:
+    from .control import SLO, render_doctor, run_doctor, write_doctor_json
+
+    slo = SLO.from_file(ns.slo) if ns.slo else None
+    doc = run_doctor(slo, quick=ns.quick, seed=ns.seed)
+    print(render_doctor(doc))
+    if ns.json_out:
+        write_doctor_json(doc, ns.json_out)
+        print(f"\nwrote structured verdict to {ns.json_out}")
+    return 0 if doc.ok else 1
+
+
+def _cmd_tune(ns: argparse.Namespace) -> int:
+    from .control import SLO, Controller, DEFAULT_SLO
+    from .obs.metrics import MetricsRegistry
+    from .workloads.canary import run_canary
+
+    slo = SLO.from_file(ns.slo) if ns.slo else DEFAULT_SLO
+    registry = MetricsRegistry()
+    cycles = ns.cycles if ns.watch else 1
+    status = "PASS"
+    with Controller(slo, registry) as ctl:
+        for i, decision in enumerate(ctl.watch(
+            lambda reg: run_canary(reg, quick=ns.quick, seed=ns.seed),
+            cycles=cycles,
+            interval_s=ns.interval if ns.watch else 0.0,
+        )):
+            print(f"-- cycle {i + 1}/{cycles} --")
+            print(decision.describe())
+            status = decision.report.status
+    print(f"\nfinal status: {status} "
+          f"(steps={int(registry.value('control.steps'))} "
+          f"retunes={int(registry.value('control.retunes'))})")
+    return 0 if status != "FAIL" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     argv = _normalize(argv)
@@ -286,6 +361,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(ns)
     if ns.command == "bench":
         return _cmd_bench(ns)
+    if ns.command == "doctor":
+        return _cmd_doctor(ns)
+    if ns.command == "tune":
+        return _cmd_tune(ns)
     _print_listing()  # pragma: no cover - unreachable via _normalize
     return 0
 

@@ -17,6 +17,10 @@ This package is the dispatch layer between the algorithms in
   thresholds (serial↔threads↔processes, two-pointer↔vectorized),
   persisted and consulted by the core entry points for string-named
   backends on untraced calls.
+* :mod:`~repro.execution.tuning` — the pure policy half of the tuner
+  (probe samples → thresholds → routing decisions, host
+  fingerprinting), shared by the cold-start path above and the
+  continuous controller in :mod:`repro.control`.
 """
 
 from .autotune import (
@@ -25,6 +29,16 @@ from .autotune import (
     autotune_enabled,
     clear_cache,
     get_autotuner,
+)
+from .tuning import (
+    NEVER,
+    HostFingerprint,
+    ProbeSuite,
+    TuningState,
+    decide_backend,
+    decide_kernel,
+    derive_thresholds,
+    tuning_env,
 )
 from .arena import ChunkSortArena, RoundArena
 from .engine import run_chunk_sorts, run_merge_round
@@ -36,6 +50,14 @@ __all__ = [
     "autotune_enabled",
     "clear_cache",
     "get_autotuner",
+    "NEVER",
+    "HostFingerprint",
+    "ProbeSuite",
+    "TuningState",
+    "decide_backend",
+    "decide_kernel",
+    "derive_thresholds",
+    "tuning_env",
     "ChunkSortArena",
     "RoundArena",
     "run_chunk_sorts",

@@ -1,4 +1,4 @@
-"""Adaptive crossover calibration for the merge/sort hot paths.
+"""Adaptive crossover calibration for the merge/sort hot paths (IO layer).
 
 The paper's speedups assume p hardware threads and N large enough that
 partitioning cost (p·log N probes) vanishes against merge work (N/p per
@@ -10,6 +10,14 @@ Those crossover points are *host properties*, so we measure them once
 per host with quick timing probes, persist them, and consult them on
 every call made with a string backend name.
 
+This module is the *IO* half of the tuner: timing probes, cache
+persistence, and the process-wide singleton.  All decisions — how
+probe timings become thresholds, how a request routes, when a cached
+calibration is stale — live in the pure policy module
+:mod:`repro.execution.tuning`, which the continuous controller
+(:mod:`repro.control`) drives through the same :meth:`Autotuner.seed`
+/ :meth:`Autotuner.calibrate` API used here for cold start.
+
 Policy knobs (all overridable by environment):
 
 ``REPRO_AUTOTUNE=0``
@@ -18,6 +26,12 @@ Policy knobs (all overridable by environment):
 ``REPRO_AUTOTUNE_CACHE=/path/file.json``
     Where calibrated thresholds persist (default
     ``~/.cache/repro/autotune-<host>-py<maj>.<min>.json``).
+
+The cache payload carries a :class:`~repro.execution.tuning.HostFingerprint`
+(cpu count, python build, machine, ``REPRO_*`` overrides); a payload
+whose fingerprint does not match the current host is ignored and the
+probe suite reruns, so moving the cache file between machines — or
+changing the core count of this one — forces recalibration.
 
 The tuner only ever *reroutes, never changes semantics*: results are
 bit-identical whichever backend or kernel runs, because every kernel
@@ -36,11 +50,23 @@ import platform
 import sys
 import threading
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
+
+from .tuning import (
+    NEVER,
+    SERIAL_MARGIN,
+    HostFingerprint,
+    ProbeSuite,
+    Thresholds,
+    TuningState,
+    decide_backend,
+    decide_kernel,
+    derive_thresholds,
+)
 
 __all__ = [
     "Thresholds",
@@ -50,31 +76,6 @@ __all__ = [
     "autotune_enabled",
     "NEVER",
 ]
-
-#: Sentinel threshold meaning "this crossover is never reached".
-NEVER = 1 << 62
-
-
-@dataclass(frozen=True, slots=True)
-class Thresholds:
-    """Calibrated crossover points, all in total output elements ``N``.
-
-    ``serial_cutover``
-        Below this N, rerun pooled-backend requests on the serial
-        backend — fork/join overhead exceeds the merge itself.
-    ``process_cutover``
-        At or above this N, prefer processes over threads (GIL-bound
-        hosts); :data:`NEVER` disables the promotion.
-    ``tiny_kernel_cutover``
-        Below this *segment* length, the two-pointer loop beats the
-        vectorized kernel's numpy setup cost (``kernel="auto"`` only).
-    """
-
-    serial_cutover: int = 4096
-    process_cutover: int = NEVER
-    tiny_kernel_cutover: int = 16
-    calibrated: bool = False
-    source: str = "default"
 
 
 def autotune_enabled() -> bool:
@@ -119,9 +120,15 @@ class Autotuner:
     """Lazily calibrated, persisted crossover thresholds for one host.
 
     ``thresholds()`` is the only consultation point: the first call
-    loads the per-host cache or runs the probe suite (a few hundred
+    loads the per-host cache (rejecting payloads whose host fingerprint
+    no longer matches) or runs the probe suite (a few hundred
     milliseconds, once per host, best-effort — any probe failure falls
     back to conservative defaults and does not propagate).
+
+    ``calibrate()`` and ``seed()`` are the *control surface*: the
+    :class:`repro.control.Controller` drives them to re-tune a live
+    process when the host changes or an SLO clause fails, instead of
+    duplicating the one-shot cold-start probe.
     """
 
     def __init__(self, cache_path: Path | None = None) -> None:
@@ -133,27 +140,36 @@ class Autotuner:
     def cache_path(self) -> Path:
         return self._cache_path or _default_cache_path()
 
+    def fingerprint(self) -> HostFingerprint:
+        """The current host shape calibrations are keyed to."""
+        return HostFingerprint.current()
+
     # -- persistence ---------------------------------------------------
 
     def _load(self) -> Thresholds | None:
+        """Cached thresholds, or ``None`` when absent/corrupt/stale."""
         try:
             raw = json.loads(self.cache_path.read_text())
-            return Thresholds(
-                serial_cutover=int(raw["serial_cutover"]),
-                process_cutover=int(raw["process_cutover"]),
-                tiny_kernel_cutover=int(raw["tiny_kernel_cutover"]),
-                calibrated=bool(raw.get("calibrated", True)),
-                source=f"cache:{self.cache_path}",
-            )
+            state = TuningState.from_payload(raw)
         except (OSError, ValueError, KeyError, TypeError):
             return None
+        if not state.valid_for(self.fingerprint()):
+            return None
+        return replace(state.thresholds, source=f"cache:{self.cache_path}")
+
+    def cache_state(self) -> str:
+        """``"absent"`` | ``"stale"`` | ``"fresh"`` — for diagnostics."""
+        if not self.cache_path.exists():
+            return "absent"
+        return "fresh" if self._load() is not None else "stale"
 
     def _store(self, th: Thresholds) -> None:
         try:
             path = self.cache_path
             path.parent.mkdir(parents=True, exist_ok=True)
-            payload = asdict(th)
-            payload["source"] = "probe"
+            payload = TuningState(
+                thresholds=th, fingerprint=self.fingerprint()
+            ).to_payload()
             path.write_text(json.dumps(payload, indent=2) + "\n")
         except OSError:
             pass  # persistence is an optimization, never a requirement
@@ -171,14 +187,14 @@ class Autotuner:
 
     def calibrate(self) -> Thresholds:
         """Run the probe suite now and persist the result."""
-        th = self._probe()
+        th = derive_thresholds(self.probe_suite())
         self._store(th)
         with self._lock:
             self._thresholds = th
         return th
 
     def thresholds(self) -> Thresholds:
-        """Calibrated thresholds (cached → probed → defaults)."""
+        """Calibrated thresholds (fresh cache → probed → defaults)."""
         with self._lock:
             if self._thresholds is not None:
                 return self._thresholds
@@ -188,7 +204,7 @@ class Autotuner:
                 self._thresholds = loaded
             return loaded
         try:
-            th = self._probe()
+            th = derive_thresholds(self.probe_suite())
             self._store(th)
         except Exception:  # noqa: BLE001 - probes are best-effort
             th = Thresholds(source="probe-failed")
@@ -196,15 +212,17 @@ class Autotuner:
             self._thresholds = th
         return th
 
-    def _probe(self) -> Thresholds:
+    def probe_suite(self) -> ProbeSuite:
+        """Time the crossover experiments; thresholds come from
+        :func:`repro.execution.tuning.derive_thresholds` (pure)."""
         from ..core.parallel_merge import parallel_merge
         from ..core.sequential import merge_two_pointer, merge_vectorized
         from .pool import shared_backend
 
         p = min(4, os.cpu_count() or 1)
 
-        # Crossover 1: serial vectorized merge vs. pooled thread merge.
-        serial_cutover = NEVER
+        # Probe 1: serial vectorized merge vs. pooled thread merge.
+        serial_vs_parallel: list[tuple[int, float, float]] = []
         if p > 1:
             be = shared_backend("threads", p)
             be.run_tasks([lambda: None])  # warm the pool out of the timing
@@ -215,14 +233,17 @@ class Autotuner:
                     lambda: merge_vectorized(a, b, check=False))
                 t_par = _best_time(
                     lambda: parallel_merge(a, b, p, backend=be, check=False))
-                if t_par < t_serial * 0.95:
-                    serial_cutover = n
-                    break
+                serial_vs_parallel.append((n, t_serial, t_par))
+                if t_par < t_serial * SERIAL_MARGIN:
+                    break  # crossover reached; no need to probe larger N
 
-        # Crossover 2: threads vs. processes at one substantial size.
-        process_cutover = NEVER
-        if p > 1 and serial_cutover != NEVER:
-            n = max(serial_cutover, 1 << 17)
+        # Probe 2: threads vs. processes at one substantial size.
+        thread_vs_process: tuple[int, float, float] | None = None
+        crossed = derive_thresholds(ProbeSuite(
+            serial_vs_parallel=tuple(serial_vs_parallel)
+        )).serial_cutover
+        if p > 1 and crossed != NEVER:
+            n = max(crossed, 1 << 17)
             a, b = _probe_arrays(n)
             try:
                 pe = shared_backend("processes", p)
@@ -236,50 +257,36 @@ class Autotuner:
                     lambda: parallel_merge(a, b, p, backend=te, check=False),
                     repeats=2,
                 )
-                if t_proc < t_thr * 0.9:
-                    process_cutover = n
+                thread_vs_process = (n, t_thr, t_proc)
             except Exception:  # noqa: BLE001 - sandboxes may forbid fork/shm
-                process_cutover = NEVER
+                thread_vs_process = None
 
-        # Crossover 3: two-pointer vs. vectorized on tiny segments.
-        tiny_kernel_cutover = 0
+        # Probe 3: two-pointer vs. vectorized on tiny segments.
+        tiny_kernel: list[tuple[int, float, float]] = []
         for n in (8, 16, 32, 64, 128):
             a, b = _probe_arrays(n)
             t_tp = _best_time(
                 lambda: merge_two_pointer(a, b, check=False), repeats=5)
             t_vec = _best_time(
                 lambda: merge_vectorized(a, b, check=False), repeats=5)
+            tiny_kernel.append((n, t_tp, t_vec))
             if t_vec <= t_tp:
-                tiny_kernel_cutover = n
                 break
-        else:
-            tiny_kernel_cutover = 128
 
-        return Thresholds(
-            serial_cutover=serial_cutover,
-            process_cutover=process_cutover,
-            tiny_kernel_cutover=tiny_kernel_cutover,
-            calibrated=True,
-            source="probe",
+        return ProbeSuite(
+            serial_vs_parallel=tuple(serial_vs_parallel),
+            thread_vs_process=thread_vs_process,
+            tiny_kernel=tuple(tiny_kernel),
         )
 
     # -- consultation --------------------------------------------------
 
     def choose_backend(self, name: str, n: int) -> str:
-        """Best backend *name* for an N-element merge requested as ``name``.
-
-        Only the pooled names are ever rerouted, and only downward to
-        ``serial`` (below the fork/join crossover) or across from
-        ``threads`` to ``processes`` (above the GIL crossover).
-        """
+        """Best backend *name* for an N-element merge requested as
+        ``name`` (pure policy: :func:`~repro.execution.tuning.decide_backend`)."""
         if not autotune_enabled() or name not in ("threads", "processes"):
             return name
-        th = self.thresholds()
-        if n < th.serial_cutover:
-            return "serial"
-        if name == "threads" and n >= th.process_cutover:
-            return "processes"
-        return name
+        return decide_backend(self.thresholds(), name, n)
 
     def resolve_kernel(self, kernel: str, segment_length: int) -> str:
         """Resolve ``kernel="auto"`` for a given per-segment length."""
@@ -287,15 +294,10 @@ class Autotuner:
             return kernel
         if not autotune_enabled():
             return "vectorized"
-        th = self.thresholds()
-        return (
-            "two_pointer"
-            if segment_length < th.tiny_kernel_cutover
-            else "vectorized"
-        )
+        return decide_kernel(self.thresholds(), kernel, segment_length)
 
     def seed(self, **overrides: int) -> None:
-        """Pin thresholds without probing (tests, reproducible runs)."""
+        """Pin thresholds without probing (tests, controller nudges)."""
         with self._lock:
             base = self._thresholds or Thresholds()
             self._thresholds = replace(

@@ -1,0 +1,270 @@
+"""Pure tuning policy: probe samples in, routing decisions out.
+
+This module is the *policy* half of the autotuner split.  Everything
+here is a pure function of its inputs — no clocks, no filesystem, no
+environment reads except the explicit ``environ`` parameters — so the
+cold-start path (:class:`repro.execution.autotune.Autotuner`) and the
+continuous controller (:class:`repro.control.Controller`) share exactly
+one decision code path and tests can drive it with synthetic samples.
+
+The split:
+
+:class:`ProbeSuite`
+    Raw timing observations — what the IO layer measures.
+:func:`derive_thresholds`
+    ``ProbeSuite`` → :class:`Thresholds` (the crossover rules).
+:func:`decide_backend` / :func:`decide_kernel`
+    ``Thresholds`` + request → routing decision (what every entry
+    point consults per call).
+:class:`HostFingerprint` / :class:`TuningState`
+    What the cache file stores, and when it is stale: thresholds are
+    *host properties*, so a calibration made on a different host shape
+    (cpu count, python build, ``REPRO_*`` overrides) must not be
+    reused.  Load average is deliberately **not** part of the equality
+    check — it changes by the second; the controller watches it live
+    instead (see :mod:`repro.control`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass
+
+__all__ = [
+    "NEVER",
+    "Thresholds",
+    "ProbeSuite",
+    "HostFingerprint",
+    "TuningState",
+    "derive_thresholds",
+    "decide_backend",
+    "decide_kernel",
+    "tuning_env",
+]
+
+#: Sentinel threshold meaning "this crossover is never reached".
+NEVER = 1 << 62
+
+#: A parallel probe must beat serial by this factor to flip the serial
+#: crossover (hysteresis against timer noise).
+SERIAL_MARGIN = 0.95
+#: Processes must beat threads by this factor to earn the promotion.
+PROCESS_MARGIN = 0.9
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """Calibrated crossover points, all in total output elements ``N``.
+
+    ``serial_cutover``
+        Below this N, rerun pooled-backend requests on the serial
+        backend — fork/join overhead exceeds the merge itself.
+    ``process_cutover``
+        At or above this N, prefer processes over threads (GIL-bound
+        hosts); :data:`NEVER` disables the promotion.
+    ``tiny_kernel_cutover``
+        Below this *segment* length, the two-pointer loop beats the
+        vectorized kernel's numpy setup cost (``kernel="auto"`` only).
+    """
+
+    serial_cutover: int = 4096
+    process_cutover: int = NEVER
+    tiny_kernel_cutover: int = 16
+    calibrated: bool = False
+    source: str = "default"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSuite:
+    """Raw timing observations from one calibration run.
+
+    ``serial_vs_parallel``
+        ``(n, t_serial_s, t_parallel_s)`` rows, ascending ``n``.
+    ``thread_vs_process``
+        One ``(n, t_threads_s, t_processes_s)`` row, or ``None`` when
+        the process backend was unavailable (sandboxes).
+    ``tiny_kernel``
+        ``(n, t_two_pointer_s, t_vectorized_s)`` rows, ascending ``n``.
+    """
+
+    serial_vs_parallel: tuple[tuple[int, float, float], ...] = ()
+    thread_vs_process: tuple[int, float, float] | None = None
+    tiny_kernel: tuple[tuple[int, float, float], ...] = ()
+
+
+def derive_thresholds(suite: ProbeSuite) -> Thresholds:
+    """Crossover rules, as a pure function of measured timings.
+
+    The serial cutover is the smallest probed N where the parallel run
+    beat serial by :data:`SERIAL_MARGIN`; the process cutover is set
+    only when processes beat threads by :data:`PROCESS_MARGIN` at the
+    probed size; the tiny-kernel cutover is the smallest segment length
+    where the vectorized kernel caught up with the two-pointer loop
+    (the largest probed length when it never did).
+    """
+    serial_cutover = NEVER
+    for n, t_serial, t_par in suite.serial_vs_parallel:
+        if t_par < t_serial * SERIAL_MARGIN:
+            serial_cutover = n
+            break
+
+    process_cutover = NEVER
+    if suite.thread_vs_process is not None:
+        n, t_thr, t_proc = suite.thread_vs_process
+        if t_proc < t_thr * PROCESS_MARGIN:
+            process_cutover = n
+
+    tiny_kernel_cutover = 0
+    for n, t_tp, t_vec in suite.tiny_kernel:
+        tiny_kernel_cutover = n
+        if t_vec <= t_tp:
+            break
+
+    return Thresholds(
+        serial_cutover=serial_cutover,
+        process_cutover=process_cutover,
+        tiny_kernel_cutover=tiny_kernel_cutover,
+        calibrated=True,
+        source="probe",
+    )
+
+
+def decide_backend(
+    th: Thresholds, name: str, n: int, *, enabled: bool = True
+) -> str:
+    """Best backend *name* for an N-element merge requested as ``name``.
+
+    Only the pooled names are ever rerouted, and only downward to
+    ``serial`` (below the fork/join crossover) or across from
+    ``threads`` to ``processes`` (above the GIL crossover).
+    """
+    if not enabled or name not in ("threads", "processes"):
+        return name
+    if n < th.serial_cutover:
+        return "serial"
+    if name == "threads" and n >= th.process_cutover:
+        return "processes"
+    return name
+
+
+def decide_kernel(
+    th: Thresholds, kernel: str, segment_length: int, *, enabled: bool = True
+) -> str:
+    """Resolve ``kernel="auto"`` for a given per-segment length."""
+    if kernel != "auto":
+        return kernel
+    if not enabled:
+        return "vectorized"
+    return (
+        "two_pointer"
+        if segment_length < th.tiny_kernel_cutover
+        else "vectorized"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Host fingerprinting (cache-staleness policy)
+# ---------------------------------------------------------------------------
+
+def tuning_env(environ: dict[str, str] | None = None) -> tuple[tuple[str, str], ...]:
+    """The ``REPRO_*`` overrides that shape tuning decisions, sorted.
+
+    A calibration made under ``REPRO_AUTOTUNE=0`` or a custom cache
+    path is a different experiment; changing any ``REPRO_*`` variable
+    therefore invalidates the cache.
+    """
+    env = os.environ if environ is None else environ
+    return tuple(sorted(
+        (k, v) for k, v in env.items() if k.startswith("REPRO_")
+    ))
+
+
+@dataclass(frozen=True, slots=True)
+class HostFingerprint:
+    """The stable host shape a calibration is valid for.
+
+    Equality of fingerprints is the cache-reuse criterion: same cpu
+    count, same python build, same machine architecture, same
+    ``REPRO_*`` overrides.  (Load average is a live signal, not part of
+    identity — see the module docstring.)
+    """
+
+    cpu_count: int
+    python: str
+    machine: str
+    env: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def current(cls, environ: dict[str, str] | None = None) -> "HostFingerprint":
+        build, _date = platform.python_build()
+        return cls(
+            cpu_count=os.cpu_count() or 1,
+            python=f"{platform.python_version()} {build}",
+            machine=platform.machine() or "unknown",
+            env=tuning_env(environ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cpu_count": self.cpu_count,
+            "python": self.python,
+            "machine": self.machine,
+            "env": {k: v for k, v in self.env},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "HostFingerprint":
+        return cls(
+            cpu_count=int(raw["cpu_count"]),
+            python=str(raw["python"]),
+            machine=str(raw["machine"]),
+            env=tuple(sorted(
+                (str(k), str(v)) for k, v in dict(raw.get("env", {})).items()
+            )),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TuningState:
+    """What the autotune cache persists: thresholds + their provenance."""
+
+    thresholds: Thresholds
+    fingerprint: HostFingerprint | None = None
+
+    def valid_for(self, fp: HostFingerprint) -> bool:
+        """Whether this calibration may be reused on host ``fp``.
+
+        Legacy payloads without a fingerprint are treated as stale —
+        they may have been calibrated on any host shape.
+        """
+        return self.fingerprint is not None and self.fingerprint == fp
+
+    def to_payload(self) -> dict:
+        payload = {
+            "serial_cutover": self.thresholds.serial_cutover,
+            "process_cutover": self.thresholds.process_cutover,
+            "tiny_kernel_cutover": self.thresholds.tiny_kernel_cutover,
+            "calibrated": self.thresholds.calibrated,
+            "source": "probe",
+        }
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint.to_dict()
+        return payload
+
+    @classmethod
+    def from_payload(cls, raw: dict) -> "TuningState":
+        """Parse a cache payload; raises ``KeyError``/``ValueError``/
+        ``TypeError`` on malformed documents (the IO layer treats any
+        of those as "no cache")."""
+        th = Thresholds(
+            serial_cutover=int(raw["serial_cutover"]),
+            process_cutover=int(raw["process_cutover"]),
+            tiny_kernel_cutover=int(raw["tiny_kernel_cutover"]),
+            calibrated=bool(raw.get("calibrated", True)),
+            source="cache",
+        )
+        fp = None
+        if isinstance(raw.get("fingerprint"), dict):
+            fp = HostFingerprint.from_dict(raw["fingerprint"])
+        return cls(thresholds=th, fingerprint=fp)

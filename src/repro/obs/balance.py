@@ -141,6 +141,14 @@ def load_balance_from_trace(
         ``"tid"`` otherwise (traces recorded before the attribute
         existed).
 
+    The aggregation axis is **all-or-nothing**: when any matching span
+    lacks an integer ``worker`` tag, the whole report deterministically
+    falls back to ``"tid"`` — documented precedence worker→tid — even
+    when ``by="worker"`` was requested.  Mixing worker-slot indices and
+    OS thread ids in one report would silently collide small worker
+    indices with small tids and corrupt every imbalance ratio; the
+    report's ``by`` field always names the axis actually used.
+
     Element counts come from each span's ``length`` attribute (attached
     by the instrumented entry points); spans without it count time only.
     """
@@ -148,17 +156,16 @@ def load_balance_from_trace(
         raise ValueError(f"by must be 'auto', 'worker' or 'tid', got {by!r}")
     records = [rec for rec in tracer.spans() if rec.name == span_name]
     tids = {rec.tid for rec in records}
+    fully_tagged = bool(records) and all(
+        isinstance(rec.args.get("worker"), int) for rec in records
+    )
     if by == "auto":
-        by = (
-            "worker"
-            if records and all(
-                isinstance(rec.args.get("worker"), int) for rec in records
-            )
-            else "tid"
-        )
+        by = "worker" if fully_tagged else "tid"
+    elif by == "worker" and not fully_tagged:
+        by = "tid"  # partial tags: never mix axes in one report
     acc: dict[int, list[int]] = {}
     for rec in records:
-        key = rec.args.get("worker", rec.tid) if by == "worker" else rec.tid
+        key = rec.args["worker"] if by == "worker" else rec.tid
         entry = acc.setdefault(key, [0, 0, 0])
         entry[0] += 1
         entry[1] += rec.duration_ns

@@ -32,6 +32,13 @@ Metric name conventions (full table in ``docs/observability.md``):
 ``balance.work_spread`` / ``balance.time_imbalance`` /
 ``balance.workers``
     Load-balance gauges (Theorem 14 witnesses; see ``obs.balance``).
+``slo.ns_per_elem`` (+ per-op ``slo.merge.*`` / ``slo.sort.*``)
+    Canary-workload latency histograms; the SLO evaluator reads p50/p99
+    straight off their summaries (see ``repro.control``).
+``control.steps`` / ``.retunes`` / ``.degradations`` /
+``.slo_failures`` and gauge ``control.last_status``
+    The controller's own decisions — the control plane is observable
+    through the same registry it reads.
 """
 
 from __future__ import annotations
@@ -97,10 +104,28 @@ class Gauge:
         return f"Gauge({self.name}={self._value})"
 
 
-class Histogram:
-    """Streaming summary (count/sum/min/max/mean) of observed values."""
+#: Bound on retained histogram samples.  Below the cap every observed
+#: value is kept, so small-sample quantiles are *exact*; past it the
+#: retained set is decimated (keep-every-other, stride doubles) — a
+#: deterministic systematic subsample over the whole stream.
+HISTOGRAM_SAMPLE_CAP = 2048
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+class Histogram:
+    """Streaming summary plus quantiles of observed values.
+
+    ``count``/``sum``/``min``/``max``/``mean`` are exact over the whole
+    stream; :meth:`quantile` is exact while at most
+    :data:`HISTOGRAM_SAMPLE_CAP` values have been observed and a
+    deterministic systematic subsample beyond that.  The SLO evaluator
+    (:mod:`repro.control`) reads p50/p99 from here — there is no second
+    latency-accounting path.
+    """
+
+    __slots__ = (
+        "name", "count", "total", "min", "max",
+        "_samples", "_stride", "_pending", "_lock",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -108,6 +133,9 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -118,20 +146,77 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._pending += 1
+            if self._pending >= self._stride:
+                self._pending = 0
+                self._samples.append(value)
+                if len(self._samples) > HISTOGRAM_SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (per-worker → run aggregation).
+
+        Exact for count/sum/min/max; the sample sets concatenate and
+        re-decimate under the same cap, so merged quantiles stay exact
+        whenever the combined sample count fits the cap.
+        """
+        with other._lock:
+            o_count, o_total = other.count, other.total
+            o_min, o_max = other.min, other.max
+            o_samples = list(other._samples)
+        with self._lock:
+            self.count += o_count
+            self.total += o_total
+            if o_min < self.min:
+                self.min = o_min
+            if o_max > self.max:
+                self.max = o_max
+            self._samples.extend(o_samples)
+            while len(self._samples) > HISTOGRAM_SAMPLE_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1), linearly interpolated.
+
+        Matches ``numpy.quantile``'s default ``linear`` method on the
+        retained samples; returns 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0]
+        pos = q * (len(samples) - 1)
+        lo = int(pos)
+        frac = pos - lo
+        if lo + 1 >= len(samples):
+            return samples[-1]
+        return samples[lo] + frac * (samples[lo + 1] - samples[lo])
+
     def summary(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -192,6 +277,39 @@ class MetricsRegistry:
             out[name] = gauges[name].value
         for name in sorted(hists):
             out[name] = hists[name].summary()
+        return out
+
+    def delta(self, before: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Changes since ``before`` (a prior :meth:`snapshot` dict).
+
+        The controller's reading protocol: take ``snapshot()`` at the
+        start of a control window, ``delta(before)`` at the end, and
+        every subsystem's activity *within the window* falls out of one
+        source of truth — counters report their increment, gauges their
+        current value (gauges are instantaneous, a difference would be
+        meaningless), and histogram summaries report count/sum
+        increments while min/max/mean/quantiles describe the current
+        sample window.  ``before=None`` (or a metric absent from
+        ``before``) degrades to the plain snapshot values.
+        """
+        snap = self.snapshot()
+        if not before:
+            return snap
+        with self._lock:
+            counters = set(self._counters)
+            hists = set(self._histograms)
+        out: dict[str, Any] = {}
+        for name, val in snap.items():
+            prev = before.get(name)
+            if name in counters and isinstance(prev, (int, float)):
+                out[name] = val - prev
+            elif name in hists and isinstance(prev, dict):
+                cur = dict(val)
+                cur["count"] = val["count"] - prev.get("count", 0)
+                cur["sum"] = val["sum"] - prev.get("sum", 0.0)
+                out[name] = cur
+            else:
+                out[name] = val
         return out
 
     def names(self) -> tuple[str, ...]:

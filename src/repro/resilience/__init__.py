@@ -26,10 +26,12 @@ Components
 
 from .degrade import (
     DEGRADATION_CHAIN,
+    DegradationEvent,
     DegradationWarning,
     DegradingBackend,
     probe_backend,
     resolve_backend,
+    subscribe_degradation,
 )
 from .faults import (
     FaultDecision,
@@ -56,6 +58,8 @@ __all__ = [
     "ExecutionTelemetry",
     "DEGRADATION_CHAIN",
     "DegradationWarning",
+    "DegradationEvent",
+    "subscribe_degradation",
     "probe_backend",
     "resolve_backend",
     "DegradingBackend",

@@ -24,7 +24,9 @@ genuine task bug).
 
 from __future__ import annotations
 
+import threading
 import warnings
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -39,6 +41,8 @@ from .telemetry import ExecutionTelemetry
 __all__ = [
     "DEGRADATION_CHAIN",
     "DegradationWarning",
+    "DegradationEvent",
+    "subscribe_degradation",
     "probe_backend",
     "resolve_backend",
     "DegradingBackend",
@@ -50,6 +54,66 @@ DEGRADATION_CHAIN: tuple[str, ...] = ("mpi", "processes", "threads", "serial")
 
 class DegradationWarning(UserWarning):
     """A backend was skipped or abandoned in favor of a lower level."""
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationEvent:
+    """One structured hop down the degradation chain.
+
+    Warnings tell a human *that* a level fell; events tell a subscriber
+    *what* to do about it.  The control plane (:mod:`repro.control`)
+    subscribes so a backend falling from processes to threads triggers
+    re-tuning (the calibrated threads↔processes crossover is now
+    routing work to a dead level) instead of silently worse latency.
+
+    ``kind``
+        ``"unavailable"`` (construction failed), ``"probe-failed"``
+        (health probe), or ``"batch-failed"`` (a live batch exhausted
+        the level's retries).
+    ``backend`` / ``fallback``
+        The level that fell and the next level tried (``None`` when the
+        chain is exhausted).
+    """
+
+    kind: str
+    backend: str
+    fallback: str | None
+    reason: str
+    what: str = ""
+
+
+_SUB_LOCK = threading.Lock()
+_SUBSCRIBERS: list[Callable[[DegradationEvent], None]] = []
+
+
+def subscribe_degradation(
+    callback: Callable[[DegradationEvent], None],
+) -> Callable[[], None]:
+    """Register ``callback`` for every degradation event; returns an
+    unsubscribe function.  Callbacks must be cheap and must not raise
+    (exceptions are swallowed — degradation handling can never be made
+    less reliable by an observer)."""
+    with _SUB_LOCK:
+        _SUBSCRIBERS.append(callback)
+
+    def unsubscribe() -> None:
+        with _SUB_LOCK:
+            try:
+                _SUBSCRIBERS.remove(callback)
+            except ValueError:
+                pass
+
+    return unsubscribe
+
+
+def _emit_event(event: DegradationEvent) -> None:
+    with _SUB_LOCK:
+        subscribers = list(_SUBSCRIBERS)
+    for cb in subscribers:
+        try:
+            cb(event)
+        except Exception:  # noqa: BLE001 - observers never break fallback
+            pass
 
 
 def _probe_task() -> int:
@@ -124,6 +188,7 @@ def resolve_backend(
     reasons: list[str] = []
     names = _candidates(preferred, chain)
     for pos, name in enumerate(names):
+        kind = "unavailable"
         try:
             backend = _construct(name, max_workers)
         except BackendUnavailableError as exc:
@@ -143,7 +208,15 @@ def resolve_backend(
                 return ResilientBackend(backend, policy, owns_inner=True)
             backend.close()
             reason = defect
+            kind = "probe-failed"
         reasons.append(f"{name}: {reason}")
+        _emit_event(DegradationEvent(
+            kind=kind,
+            backend=name,
+            fallback=names[pos + 1] if pos + 1 < len(names) else None,
+            reason=reason,
+            what="backend resolution",
+        ))
         warnings.warn(
             f"backend {name!r} unavailable ({reason}); "
             f"falling back along {names[pos + 1:] or ['<nothing>']}",
@@ -225,6 +298,12 @@ class DegradingBackend(Backend):
                 return self._entry_name(i)
         return None
 
+    def _next_level_name(self, index: int) -> str | None:
+        for j in range(index + 1, len(self._entries)):
+            if j not in self._disabled:
+                return self._entry_name(j)
+        return None
+
     def _dispatch(self, op: Callable[[ResilientBackend], Any], what: str) -> Any:
         last: BackendError | None = None
         for i in range(len(self._entries)):
@@ -236,6 +315,13 @@ class DegradingBackend(Backend):
             except BackendUnavailableError as exc:
                 self._disable(i, f"requires {exc.missing}")
                 last = exc
+                _emit_event(DegradationEvent(
+                    kind="unavailable",
+                    backend=name,
+                    fallback=self._next_level_name(i),
+                    reason=f"requires {exc.missing}",
+                    what=what,
+                ))
                 warnings.warn(
                     f"degradation: backend {name!r} unavailable "
                     f"(requires {exc.missing}); trying the next level",
@@ -251,6 +337,13 @@ class DegradingBackend(Backend):
                 self._strikes[i] = strikes
                 if strikes >= self._failure_threshold:
                     self._disable(i, f"failed {strikes} batch(es): {exc}")
+                _emit_event(DegradationEvent(
+                    kind="batch-failed",
+                    backend=name,
+                    fallback=self._next_level_name(i),
+                    reason=str(exc),
+                    what=what,
+                ))
                 warnings.warn(
                     f"degradation: backend {name!r} failed {what} even with "
                     f"retries ({exc}); replaying on the next level",

@@ -8,6 +8,9 @@
   arrays, organ-pipe and staircase run structures.
 * :mod:`repro.workloads.datasets` — scenario data for the examples
   (timestamped log records, time-series shards).
+* :mod:`repro.workloads.canary` — the fixed SLO-instrumented replay
+  behind ``python -m repro doctor`` and the tune loop (kept out of
+  this namespace on purpose: it imports :mod:`repro.core`).
 """
 
 from .generators import (

@@ -129,3 +129,85 @@ def test_default_thresholds_are_conservative():
     assert not th.calibrated
     assert th.process_cutover == NEVER
     assert th.source == "default"
+
+
+class TestHostFingerprint:
+    """The cache is keyed to the host shape: a calibration made on a
+    different machine (or under different REPRO_* overrides) is stale."""
+
+    def _seeded_cache(self, path):
+        tuner = Autotuner(cache_path=path)
+        tuner.seed(serial_cutover=12345)
+        tuner._store(tuner.thresholds())
+        return tuner
+
+    def test_matching_fingerprint_loads(self, tmp_path):
+        path = tmp_path / "tune.json"
+        self._seeded_cache(path)
+        again = Autotuner(cache_path=path)
+        assert again.cache_state() == "fresh"
+        assert again.thresholds().serial_cutover == 12345
+
+    def test_cpu_count_change_forces_recalibration(self, tmp_path, monkeypatch):
+        path = tmp_path / "tune.json"
+        self._seeded_cache(path)
+        monkeypatch.setattr("os.cpu_count", lambda: 999)
+        stale = Autotuner(cache_path=path)
+        assert stale._load() is None
+        assert stale.cache_state() == "stale"
+
+    def test_repro_env_change_forces_recalibration(self, tmp_path, monkeypatch):
+        path = tmp_path / "tune.json"
+        self._seeded_cache(path)
+        monkeypatch.setenv("REPRO_SOME_NEW_OVERRIDE", "1")
+        stale = Autotuner(cache_path=path)
+        assert stale._load() is None
+        assert stale.cache_state() == "stale"
+
+    def test_non_repro_env_is_ignored(self, tmp_path, monkeypatch):
+        path = tmp_path / "tune.json"
+        self._seeded_cache(path)
+        monkeypatch.setenv("SOME_UNRELATED_VAR", "1")
+        assert Autotuner(cache_path=path).cache_state() == "fresh"
+
+    def test_legacy_payload_without_fingerprint_is_stale(self, tmp_path):
+        path = tmp_path / "tune.json"
+        path.write_text(json.dumps({
+            "serial_cutover": 777, "process_cutover": NEVER,
+            "tiny_kernel_cutover": 8,
+        }))
+        assert Autotuner(cache_path=path).cache_state() == "stale"
+
+
+class TestPolicyFunctions:
+    """The pure policy layer (repro.execution.tuning) in isolation."""
+
+    def test_derive_thresholds_from_synthetic_suite(self):
+        from repro.execution.tuning import ProbeSuite, derive_thresholds
+
+        suite = ProbeSuite(
+            serial_vs_parallel=((1024, 1.0, 1.1), (4096, 1.0, 0.5)),
+            thread_vs_process=(1 << 16, 1.0, 0.5),
+            tiny_kernel=((8, 1.0, 2.0), (32, 1.0, 0.9)),
+        )
+        th = derive_thresholds(suite)
+        assert th.serial_cutover == 4096  # first row inside the margin
+        assert th.process_cutover == 1 << 16
+        assert th.tiny_kernel_cutover == 32
+        assert th.calibrated and th.source == "probe"
+
+    def test_derive_thresholds_margins(self):
+        from repro.execution.tuning import ProbeSuite, derive_thresholds
+
+        # parallel wins, but not by the 0.95 hysteresis margin
+        suite = ProbeSuite(serial_vs_parallel=((4096, 1.0, 0.97),),
+                           thread_vs_process=(1 << 16, 1.0, 0.95))
+        th = derive_thresholds(suite)
+        assert th.serial_cutover == NEVER
+        assert th.process_cutover == NEVER  # 0.9 margin not met either
+
+    def test_tuning_env_collects_only_repro_vars(self):
+        from repro.execution.tuning import tuning_env
+
+        env = tuning_env({"REPRO_B": "2", "PATH": "/bin", "REPRO_A": "1"})
+        assert env == (("REPRO_A", "1"), ("REPRO_B", "2"))

@@ -77,3 +77,60 @@ def test_empty_report_records_nothing():
     reg = MetricsRegistry()
     record_load_balance(reg, report=LoadBalanceReport(workers=()))
     assert "balance.time_imbalance" not in reg.names()
+
+
+class TestAggregationAxisFallback:
+    """Partial worker tags must never mix axes: documented precedence
+    is worker -> tid, all-or-nothing."""
+
+    @staticmethod
+    def _trace(tags):
+        """One segment.merge span per entry; each entry is the span's
+        attrs dict (possibly missing the worker tag)."""
+        tracer = Tracer()
+        for attrs in tags:
+            with tracer.span("segment.merge", **attrs):
+                pass
+        return tracer
+
+    def test_auto_uses_worker_when_fully_tagged(self):
+        tracer = self._trace([{"worker": 0, "length": 10},
+                              {"worker": 1, "length": 10}])
+        report = load_balance_from_trace(tracer, by="auto")
+        assert report.by == "worker"
+        assert report.worker_count == 2
+        assert report.total_elements == 20
+
+    def test_auto_falls_back_to_tid_on_partial_tags(self):
+        tracer = self._trace([{"worker": 0, "length": 10}, {"length": 10}])
+        report = load_balance_from_trace(tracer, by="auto")
+        assert report.by == "tid"
+
+    def test_explicit_worker_also_falls_back_deterministically(self):
+        # the old behavior mixed args["worker"] with rec.tid here,
+        # colliding small worker indices with OS thread ids
+        tracer = self._trace([{"worker": 0, "length": 10}, {"length": 10}])
+        report = load_balance_from_trace(tracer, by="worker")
+        assert report.by == "tid"  # report names the axis actually used
+        # every span ran on this one thread: nothing double-counted
+        assert report.worker_count == 1
+        assert report.total_elements == 20
+
+    def test_non_integer_worker_tag_counts_as_untagged(self):
+        tracer = self._trace([{"worker": "zero"}, {"worker": 1}])
+        assert load_balance_from_trace(tracer, by="worker").by == "tid"
+
+    def test_fully_tagged_explicit_worker_is_honored(self):
+        # both spans run on one OS thread, but the two logical slots
+        # must stay distinct on the worker axis
+        tracer = self._trace([{"worker": 0, "length": 12},
+                              {"worker": 1, "length": 13}])
+        report = load_balance_from_trace(tracer, by="worker")
+        assert report.by == "worker"
+        assert report.worker_count == 2
+        assert report.os_threads == 1
+        assert {w.elements for w in report.workers} == {12, 13}
+
+    def test_invalid_axis_is_rejected(self):
+        with pytest.raises(ValueError, match="'auto', 'worker' or 'tid'"):
+            load_balance_from_trace(self._trace([]), by="threads")

@@ -190,3 +190,128 @@ class TestTelemetryBridge:
         tel.record(self._batch(dispatches=2, retries=1))
         assert tel.metrics is None
         assert tel.dispatches == 2 and tel.retries == 1
+
+
+class TestHistogramQuantiles:
+    def test_exact_on_small_odd_sample(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in [9, 1, 5, 3, 7, 2, 8, 4, 6]:  # 1..9 shuffled
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 9.0
+
+    def test_linear_interpolation_on_even_sample(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(2.5)
+        assert h.quantile(0.25) == pytest.approx(1.75)
+
+    def test_matches_numpy_percentile(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        values = rng.exponential(100.0, size=200)
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in values:
+            h.observe(float(v))
+        for q in (0.5, 0.9, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, q * 100)), rel=1e-9
+            )
+
+    def test_empty_histogram_quantile_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_summary_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p99"] == pytest.approx(99.01)
+        # and the registry snapshot exposes the same numbers
+        assert reg.snapshot()["h"]["p50"] == s["p50"]
+
+    def test_sample_cap_bounds_memory_not_count(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        n = HISTOGRAM_SAMPLE_CAP * 4
+        for v in range(n):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == n
+        assert len(h._samples) <= HISTOGRAM_SAMPLE_CAP
+        # decimated quantiles stay close on a uniform ramp
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.05)
+
+    def test_merge_folds_per_worker_histograms(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        ha, hb = reg_a.histogram("h"), reg_b.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            ha.observe(v)
+        for v in (100.0, 200.0, 300.0):
+            hb.observe(v)
+        ha.merge(hb)
+        s = ha.summary()
+        assert s["count"] == 6
+        assert s["sum"] == pytest.approx(606.0)
+        assert s["min"] == 1.0 and s["max"] == 300.0
+        assert ha.quantile(0.5) == pytest.approx(51.5)  # (3+100)/2
+        # source histogram is unchanged
+        assert hb.summary()["count"] == 3
+
+
+class TestSnapshotDelta:
+    def test_delta_without_baseline_is_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        assert reg.delta(None) == reg.snapshot()
+
+    def test_counters_subtract(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        before = reg.snapshot()
+        reg.counter("c").inc(4)
+        assert reg.delta(before)["c"] == 4
+
+    def test_gauges_report_current_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(5.0)
+        before = reg.snapshot()
+        reg.gauge("g").set(2.0)
+        assert reg.delta(before)["g"] == 2.0
+
+    def test_histograms_subtract_count_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(10.0)
+        before = reg.snapshot()
+        h.observe(20.0)
+        h.observe(30.0)
+        d = reg.delta(before)["h"]
+        assert d["count"] == 2
+        assert d["sum"] == pytest.approx(50.0)
+
+    def test_metric_born_after_baseline_appears_whole(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("new").inc(7)
+        assert reg.delta(before)["new"] == 7

@@ -1,0 +1,36 @@
+"""The canary workload: deterministic, SLO-instrumented, registry-fed."""
+
+from repro.obs import MetricsRegistry
+from repro.workloads.canary import run_canary
+
+
+def test_quick_canary_feeds_the_slo_metrics():
+    reg = MetricsRegistry()
+    result = run_canary(reg, quick=True, seed=7)
+    assert result.rows and result.calls > 0
+    snap = reg.snapshot()
+    # the unified latency histogram the SLO clauses read
+    assert snap["slo.ns_per_elem"]["count"] == result.calls
+    assert snap["slo.ns_per_elem"]["p50"] > 0
+    # per-op breakdowns
+    assert snap["slo.merge.ns_per_elem"]["count"] > 0
+    assert snap["slo.sort.ns_per_elem"]["count"] > 0
+    # the traced merge attached the Theorem 14 gauges
+    assert snap["balance.work_spread"] <= 1.0
+    assert snap["balance.workers"] >= 1.0
+
+
+def test_canary_is_deterministic_in_shape():
+    reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+    a = run_canary(reg_a, quick=True, seed=7)
+    b = run_canary(reg_b, quick=True, seed=7)
+    # same call plan either run (timings differ, structure must not)
+    assert a.calls == b.calls
+    plan = lambda res: [(r["op"], r["n"], r["p"]) for r in res.rows]
+    assert plan(a) == plan(b)
+
+
+def test_canary_p_defaults_are_bounded():
+    reg = MetricsRegistry()
+    run_canary(reg, quick=True, seed=3, p=2)
+    assert reg.value("balance.workers") <= 2.0
