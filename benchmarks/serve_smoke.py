@@ -1,0 +1,151 @@
+"""The serve-smoke soak: a live server, real load, a doctor verdict.
+
+CI's ``serve-smoke`` job runs this script.  It:
+
+1. starts ``python -m repro serve --port 0`` as a subprocess and parses
+   the bound port off its ``serving on HOST:PORT`` line;
+2. drives the deterministic load generator against it for ~10 seconds
+   (many tiny merges, occasional large sorts, some top-k), checking
+   every response bit-for-bit against the serial oracle;
+3. pulls the server's metrics snapshot over the wire (the ``metrics``
+   op) and writes it to ``serve-metrics.json``;
+4. judges that live-traffic window with ``python -m repro doctor
+   --slo benchmarks/serve_slo.json --metrics-from ...`` and writes the
+   ``repro-doctor/1`` verdict to ``serve-doctor.json``.
+
+Exit status is non-zero on any incorrect response, any load-generator
+error, or a FAIL doctor verdict — the job gates on it.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py --duration 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BANNER = re.compile(r"serving on (\S+):(\d+)")
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def start_server(python: str) -> tuple[subprocess.Popen, str, int]:
+    proc = subprocess.Popen(
+        [python, "-m", "repro", "serve", "--port", "0",
+         "--no-control"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(REPO),
+        env=_env(),
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before binding (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"[server] {line}")
+        match = BANNER.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    raise RuntimeError("server did not print its banner within 60s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="soak duration in seconds")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--out-dir", default=".",
+                        help="where serve-metrics.json / serve-doctor.json "
+                             "land")
+    ns = parser.parse_args()
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.serve.client import request_sync
+    from repro.workloads.loadgen import LoadSpec, run_load_sync
+
+    out_dir = Path(ns.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    server, host, port = start_server(sys.executable)
+    try:
+        spec = LoadSpec(
+            clients=ns.clients,
+            requests_per_client=50,
+            seed=20260808,
+            small_max=256,
+            large_every=40,
+            large_n=150_000,
+            topk_every=9,
+            pipeline=8,
+            duration_s=ns.duration,
+        )
+        report = run_load_sync(host, port, spec)
+        print("load report:", json.dumps(report.summary(), indent=2))
+
+        snapshot = request_sync(
+            host, port, {"id": "smoke", "op": "metrics"}, timeout=60.0
+        )["result"]
+        metrics_path = out_dir / "serve-metrics.json"
+        metrics_path.write_text(
+            json.dumps({"schema": "repro-serve-metrics/1",
+                        "load": report.summary(),
+                        "metrics": snapshot}, indent=2) + "\n"
+        )
+        print(f"wrote {metrics_path}")
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+    failures = []
+    if report.incorrect:
+        failures.append(f"{report.incorrect} responses diverged from the "
+                        "serial oracle")
+    if report.errors:
+        failures.append(f"{report.errors} internal errors")
+    if report.ok == 0:
+        failures.append("no successful responses at all")
+
+    doctor = subprocess.run(
+        [sys.executable, "-m", "repro", "doctor", "--quick",
+         "--slo", str(REPO / "benchmarks" / "serve_slo.json"),
+         "--metrics-from", str(out_dir / "serve-metrics.json"),
+         "--json", str(out_dir / "serve-doctor.json")],
+        cwd=str(REPO),
+        env=_env(),
+    )
+    if doctor.returncode != 0:
+        failures.append("doctor verdict has FAIL clauses")
+
+    if failures:
+        print("SERVE SMOKE FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"serve smoke OK: {report.ok}/{report.sent} responses correct, "
+          "doctor verdict FAIL-free")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

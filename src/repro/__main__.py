@@ -32,6 +32,12 @@ doctor
 tune
     The continuous control loop: run the canary, evaluate the SLO,
     retune the autotuner; ``--watch`` repeats for ``--cycles`` rounds.
+serve
+    The asyncio front door: newline-delimited JSON over TCP, coalesced
+    batches on the shared pools, admission control with load shedding
+    and per-request deadlines.  Prints ``serving on HOST:PORT`` once
+    bound (``--port 0`` picks an ephemeral port) and runs until
+    interrupted.  See ``docs/serving.md``.
 
 Unknown flags are an error (exit status 2 via argparse).  For
 backwards compatibility, bare experiment ids still work — ``python -m
@@ -53,7 +59,7 @@ _LEGACY_FLAGS = ("--quick", "--full", "--chart", "--chaos")
 
 _SUBCOMMANDS = (
     "run", "report", "selftest", "scorecard", "conformance", "api",
-    "trace", "bench", "doctor", "tune",
+    "trace", "bench", "doctor", "tune", "serve",
 )
 
 
@@ -72,7 +78,7 @@ def _fig5_chart(result: ExperimentResult) -> str:
 def _print_listing() -> None:
     print("usage: python -m repro SUBCOMMAND ... "
           "(run | report | selftest | scorecard | conformance | api | "
-          "trace | bench | doctor | tune)\n")
+          "trace | bench | doctor | tune | serve)\n")
     print("available experiments (python -m repro run EXP_ID ...):")
     for exp_id, (_fn, desc) in EXPERIMENTS.items():
         print(f"  {exp_id:<8} {desc}")
@@ -90,6 +96,8 @@ def _print_listing() -> None:
           "(--quick, --json out.json)")
     print("  tune         obs→autotune control loop "
           "(--watch --cycles N --interval S)")
+    print("  serve        NDJSON-over-TCP front door "
+          "(--host --port; see docs/serving.md)")
 
 
 def _normalize(argv: list[str]) -> list[str]:
@@ -183,6 +191,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_doc.add_argument("--json", default=None, metavar="OUT.json",
                        dest="json_out",
                        help="also write the structured verdict here")
+    p_doc.add_argument("--metrics-from", default=None, dest="metrics_from",
+                       metavar="SNAPSHOT.json",
+                       help="judge a persisted metrics window (e.g. a live "
+                            "server's snapshot) instead of replaying the "
+                            "canary")
 
     p_tune = sub.add_parser(
         "tune", help="obs→autotune→SLO control loop over the canary")
@@ -197,6 +210,38 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)
     p_tune.add_argument("--seed", type=int, default=7)
     p_tune.add_argument("--slo", default=None, metavar="SLO.json")
+
+    p_srv = sub.add_parser(
+        "serve", help="NDJSON-over-TCP merge service (see docs/serving.md)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7207,
+                       help="0 picks an ephemeral port (printed once bound)")
+    p_srv.add_argument("--p", type=int, default=None,
+                       help="workers for the above-cutover parallel path")
+    p_srv.add_argument("--backend", default="threads",
+                       help="shared-pool level of the degradation chain")
+    p_srv.add_argument("--capacity", type=int, default=512,
+                       help="admission budget; past it requests are shed")
+    p_srv.add_argument("--max-batch", type=int, default=64,
+                       dest="max_batch",
+                       help="coalescer flushes at this many requests")
+    p_srv.add_argument("--window-ms", type=float, default=2.0,
+                       dest="window_ms",
+                       help="coalescing window duration in ms")
+    p_srv.add_argument("--small-cutover", type=int, default=1 << 15,
+                       dest="small_cutover",
+                       help="elements at or below coalesce; above run the "
+                            "parallel path")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       dest="deadline_ms",
+                       help="default per-request deadline when the client "
+                            "sends none")
+    p_srv.add_argument("--no-control", action="store_true",
+                       help="disable the background SLO controller")
+    p_srv.add_argument("--control-interval", type=float, default=5.0,
+                       dest="control_interval", metavar="SECONDS")
+    p_srv.add_argument("--slo", default=None, metavar="SLO.json",
+                       help="JSON file overriding the serve default SLO")
 
     return parser
 
@@ -286,7 +331,8 @@ def _cmd_doctor(ns: argparse.Namespace) -> int:
     from .control import SLO, render_doctor, run_doctor, write_doctor_json
 
     slo = SLO.from_file(ns.slo) if ns.slo else None
-    doc = run_doctor(slo, quick=ns.quick, seed=ns.seed)
+    doc = run_doctor(slo, quick=ns.quick, seed=ns.seed,
+                     metrics_from=ns.metrics_from)
     print(render_doctor(doc))
     if ns.json_out:
         write_doctor_json(doc, ns.json_out)
@@ -316,6 +362,45 @@ def _cmd_tune(ns: argparse.Namespace) -> int:
           f"(steps={int(registry.value('control.steps'))} "
           f"retunes={int(registry.value('control.retunes'))})")
     return 0 if status != "FAIL" else 1
+
+
+def _cmd_serve(ns: argparse.Namespace) -> int:
+    import asyncio
+
+    from .control import SLO
+    from .serve import SERVE_DEFAULT_SLO, MergeServer, ServeConfig
+
+    config = ServeConfig(
+        host=ns.host,
+        port=ns.port,
+        p=ns.p,
+        backend=ns.backend,
+        capacity=ns.capacity,
+        max_batch=ns.max_batch,
+        window_s=ns.window_ms / 1000.0,
+        small_cutover=ns.small_cutover,
+        default_deadline_ms=ns.deadline_ms,
+        control_interval_s=0.0 if ns.no_control else ns.control_interval,
+        slo=SLO.from_file(ns.slo) if ns.slo else SERVE_DEFAULT_SLO,
+    )
+
+    async def run() -> None:
+        server = MergeServer(config)
+        await server.start()
+        # The smoke harness and docs rely on this exact line.
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -365,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_doctor(ns)
     if ns.command == "tune":
         return _cmd_tune(ns)
+    if ns.command == "serve":
+        return _cmd_serve(ns)
     _print_listing()  # pragma: no cover - unreachable via _normalize
     return 0
 

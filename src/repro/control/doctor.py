@@ -26,7 +26,13 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from .slo import DEFAULT_SLO, FAIL, SLO, SLOReport, evaluate_slo
 
-__all__ = ["DoctorReport", "run_doctor", "render_doctor", "write_doctor_json"]
+__all__ = [
+    "DoctorReport",
+    "run_doctor",
+    "render_doctor",
+    "write_doctor_json",
+    "load_metrics_snapshot",
+]
 
 DOCTOR_SCHEMA = "repro-doctor/1"
 
@@ -78,6 +84,24 @@ def _host_facts(tuner: Autotuner) -> dict[str, Any]:
     return facts
 
 
+def load_metrics_snapshot(path: str) -> dict[str, Any]:
+    """Read a metrics window from ``path`` for ``--metrics-from``.
+
+    Accepts either a raw :meth:`~repro.obs.MetricsRegistry.snapshot`
+    dict, or a wrapper object carrying one under a ``"metrics"`` key
+    (the shape both the doctor verdict and the serve smoke harness
+    write), so artifacts can be fed straight back in.
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object snapshot")
+    inner = doc.get("metrics")
+    if isinstance(inner, dict) and inner:
+        return inner
+    return doc
+
+
 def run_doctor(
     slo: SLO | None = None,
     *,
@@ -86,6 +110,7 @@ def run_doctor(
     p: int | None = None,
     backend: str = "threads",
     autotuner: Autotuner | None = None,
+    metrics_from: str | None = None,
 ) -> DoctorReport:
     """Probe the host, replay the canary, judge the SLO.
 
@@ -93,6 +118,11 @@ def run_doctor(
     backend probe; its clause verdicts are then computed from whatever
     was recorded — absent metrics SKIP rather than FAIL, so a quick
     verdict never lies about something it did not measure.
+
+    ``metrics_from`` judges a *persisted* metrics window (a snapshot
+    JSON, e.g. captured off a live server's ``metrics`` op) instead of
+    replaying the canary — the live-traffic mode the serve front door
+    and its smoke harness use.  Host facts and probes still run.
     """
     from ..resilience.degrade import probe_backend
     from ..workloads.canary import run_canary
@@ -122,12 +152,18 @@ def run_doctor(
                 },
             }
 
-        with tracer.span("doctor.canary"):
-            canary = run_canary(
-                registry, quick=quick, seed=seed, p=p, backend=backend
-            )
+        if metrics_from is not None:
+            snapshot = load_metrics_snapshot(metrics_from)
+            notes = [f"metrics window loaded from {metrics_from} "
+                     "(canary skipped)"]
+        else:
+            with tracer.span("doctor.canary"):
+                canary = run_canary(
+                    registry, quick=quick, seed=seed, p=p, backend=backend
+                )
+            snapshot = registry.snapshot()
+            notes = canary.notes
 
-        snapshot = registry.snapshot()
         report = evaluate_slo(slo, snapshot)
 
     return DoctorReport(
@@ -136,7 +172,7 @@ def run_doctor(
         host=host,
         probes=probes,
         autotune=autotune_facts,
-        canary_notes=canary.notes,
+        canary_notes=notes,
         metrics=snapshot,
     )
 

@@ -183,6 +183,17 @@ class Autotuner:
             except OSError:
                 pass
 
+    def forget(self) -> None:
+        """Drop in-memory thresholds only; the disk cache survives.
+
+        Test isolation wants seeded state gone between tests without
+        destroying a developer's (or CI's) calibrated cache the way
+        :meth:`clear` would; the next :meth:`thresholds` call simply
+        reloads from disk or re-probes.
+        """
+        with self._lock:
+            self._thresholds = None
+
     # -- calibration ---------------------------------------------------
 
     def calibrate(self) -> Thresholds:

@@ -39,6 +39,17 @@ Metric name conventions (full table in ``docs/observability.md``):
 ``.slo_failures`` and gauge ``control.last_status``
     The controller's own decisions — the control plane is observable
     through the same registry it reads.
+``serve.requests`` / ``.responses`` / ``.shed`` / ``.bad_requests`` /
+``.errors`` / ``.deadline_misses`` / ``.connections`` /
+``.degradations`` / ``.batches`` / ``.coalesced_requests``, gauge
+``serve.inflight``, histograms ``serve.batch_size`` /
+``serve.latency_ms``
+    The asyncio front door (:mod:`repro.serve`): admission and shed
+    accounting, coalescer window sizes, end-to-end request latency.
+    The server also observes batch-compute time into
+    ``slo.ns_per_elem`` (+ ``slo.serve.ns_per_elem``) so ``doctor
+    --slo --metrics-from`` judges live traffic with the same clauses
+    as the canary.
 """
 
 from __future__ import annotations

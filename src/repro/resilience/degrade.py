@@ -377,6 +377,9 @@ class DegradingBackend(Backend):
                     level.run_tasks(tasks)
                 return arena.result()
 
+        # One fork/join from the caller's point of view, exactly like
+        # run_batch — level replays underneath don't multiply it.
+        self.dispatches += 1
         return self._dispatch(op, "a partitioned merge")
 
     def close(self) -> None:

@@ -1,0 +1,105 @@
+"""The request coalescer: many tiny requests, one backend dispatch.
+
+The batched execution engine (PR 5) exists because one fork/join per
+*phase* beats one per *pair*; the service front door has the same
+shape one level up — one backend dispatch per *window of concurrent
+requests* beats one per request.  A tiny merge costs far less than a
+pool dispatch, so a server doing millions of them must amortize the
+dispatch: requests that arrive within one coalescing window (or
+before the window fills to ``max_batch``) are fused into a single
+:class:`~repro.backends.TaskBatch` and submitted with **one**
+``run_batch`` call on the shared pool.  ``exec.dispatches`` therefore
+grows with the number of *windows*, sub-linearly in the number of
+requests — which is exactly the invariant the server test tier pins.
+
+The coalescer is pure scheduling: it neither computes nor knows about
+the wire protocol.  ``submit(item)`` returns an ``asyncio.Future``;
+the ``runner`` coroutine passed at construction receives the drained
+``(item, future)`` window and is responsible for resolving every
+future (the server's runner builds the TaskBatch, runs it in an
+executor thread, and fans results back out).  Futures cancelled while
+parked — a request whose deadline expired — are dropped from the
+window before the runner sees them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Windowed batcher for an asyncio front door.
+
+    Parameters
+    ----------
+    runner:
+        ``async runner(entries)`` where ``entries`` is a non-empty list
+        of ``(item, future)`` pairs; must resolve each future (guarding
+        ``future.done()`` — a deadline may cancel one concurrently).
+    max_batch:
+        Flush as soon as this many requests are parked.
+    window_s:
+        Flush this long after the first request of a window arrived,
+        even if the window is not full.  ``0`` flushes on the next
+        event-loop tick, which still coalesces a burst that arrived in
+        the same tick.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[list[tuple[Any, asyncio.Future]]], Awaitable[None]],
+        *,
+        max_batch: int = 64,
+        window_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        self._runner = runner
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._tasks: set[asyncio.Task] = set()
+        #: Windows flushed so far (one backend dispatch each).
+        self.flushes = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, item: Any) -> "asyncio.Future[Any]":
+        """Park ``item`` in the current window; resolve via the runner."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s, self.flush)
+        return future
+
+    def flush(self) -> None:
+        """Hand the parked window to the runner (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        entries = [(i, f) for i, f in self._pending if not f.done()]
+        self._pending.clear()
+        if not entries:
+            return
+        self.flushes += 1
+        task = asyncio.get_running_loop().create_task(self._runner(entries))
+        # Keep a strong reference until done (asyncio only holds weakly).
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def drain(self) -> None:
+        """Flush and wait for every in-flight window (shutdown path)."""
+        self.flush()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

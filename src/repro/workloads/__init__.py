@@ -11,6 +11,10 @@
 * :mod:`repro.workloads.canary` — the fixed SLO-instrumented replay
   behind ``python -m repro doctor`` and the tune loop (kept out of
   this namespace on purpose: it imports :mod:`repro.core`).
+* :mod:`repro.workloads.loadgen` — the deterministic client fleet for
+  the serve front door: many tiny merges plus occasional large sorts,
+  every response checked against the serial oracle (also kept out of
+  this namespace: it imports :mod:`repro.serve`).
 """
 
 from .generators import (

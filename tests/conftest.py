@@ -13,6 +13,27 @@ import pytest
 os.environ.setdefault("REPRO_AUTOTUNE", "0")
 
 
+@pytest.fixture(autouse=True)
+def _serve_pool_isolation(request):
+    """Reset process-wide execution state after every serve-tier test.
+
+    The server tier exercises the shared pool cache
+    (:func:`repro.execution.pool.shared_backend`) and may seed the
+    process-wide autotuner; without a reset, a pool a server test
+    poisoned (or thresholds it pinned) would leak into
+    ordering-sensitive suites.  Scoped to ``tests/serve`` by path so
+    the rest of the suite keeps its (cheap) no-op behaviour.
+    """
+    yield
+    if "tests/serve" not in str(request.node.fspath).replace(os.sep, "/"):
+        return
+    from repro.execution.autotune import get_autotuner
+    from repro.execution.pool import close_shared_backends
+
+    close_shared_backends()
+    get_autotuner().forget()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that draw data inline."""

@@ -1,0 +1,25 @@
+"""Fixtures for the serve tier: live servers on background threads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live server per test module (small coalescing window)."""
+    with ServerThread(ServeConfig(
+        capacity=256, max_batch=32, window_s=0.001, p=2,
+    )) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def fresh_server():
+    """A per-test server for tests that assert on registry state."""
+    with ServerThread(ServeConfig(
+        capacity=64, max_batch=16, window_s=0.001, p=2,
+    )) as handle:
+        yield handle

@@ -1,0 +1,85 @@
+"""Admission-control unit tests: budget, shedding, accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity(self):
+        ctl = AdmissionController(3)
+        assert [ctl.try_admit() for _ in range(3)] == [True] * 3
+        assert ctl.inflight == 3
+
+    def test_sheds_past_capacity(self):
+        ctl = AdmissionController(2)
+        assert ctl.try_admit() and ctl.try_admit()
+        assert not ctl.try_admit()
+
+    def test_release_reopens_a_slot(self):
+        ctl = AdmissionController(1)
+        assert ctl.try_admit()
+        assert not ctl.try_admit()
+        ctl.release()
+        assert ctl.try_admit()
+
+    def test_shed_counts_into_registry(self):
+        reg = MetricsRegistry()
+        ctl = AdmissionController(1, metrics=reg)
+        ctl.try_admit()
+        ctl.try_admit()
+        ctl.try_admit()
+        assert reg.value("serve.shed") == 2
+
+    def test_inflight_gauge_tracks(self):
+        reg = MetricsRegistry()
+        ctl = AdmissionController(4, metrics=reg)
+        ctl.try_admit()
+        ctl.try_admit()
+        assert reg.value("serve.inflight") == 2
+        ctl.release()
+        assert reg.value("serve.inflight") == 1
+
+    def test_peak_high_water_mark(self):
+        ctl = AdmissionController(8)
+        for _ in range(5):
+            ctl.try_admit()
+        for _ in range(5):
+            ctl.release()
+        ctl.try_admit()
+        assert ctl.peak == 5
+
+    def test_unmatched_release_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(1).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_thread_safety_of_budget(self):
+        # Hammer the controller from many threads; the admitted count
+        # can never exceed capacity at any instant, and the books must
+        # balance at the end.
+        ctl = AdmissionController(16)
+        violations: list[int] = []
+
+        def worker() -> None:
+            for _ in range(200):
+                if ctl.try_admit():
+                    if ctl.inflight > ctl.capacity:
+                        violations.append(ctl.inflight)
+                    ctl.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not violations
+        assert ctl.inflight == 0

@@ -1,0 +1,144 @@
+"""Coalescer unit tests: windowing, flush triggers, future hygiene."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalescer import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_runner(windows):
+    """A runner that records each window and echoes items back."""
+
+    async def runner(entries):
+        windows.append([item for item, _ in entries])
+        for item, future in entries:
+            if not future.done():
+                future.set_result(item)
+
+    return runner
+
+
+class TestCoalescer:
+    def test_burst_in_one_tick_is_one_window(self):
+        windows: list = []
+
+        async def scenario():
+            co = Coalescer(echo_runner(windows), max_batch=64, window_s=0.001)
+            futures = [co.submit(i) for i in range(10)]
+            assert co.pending == 10
+            return await asyncio.gather(*futures)
+
+        assert run(scenario()) == list(range(10))
+        assert len(windows) == 1  # 10 requests, one dispatch
+
+    def test_flush_at_max_batch(self):
+        windows: list = []
+
+        async def scenario():
+            co = Coalescer(echo_runner(windows), max_batch=4, window_s=10.0)
+            futures = [co.submit(i) for i in range(9)]
+            # 2 full windows flushed; window 3 is parked on a timer far
+            # in the future until we force it.
+            assert co.flushes == 2
+            co.flush()
+            await asyncio.gather(*futures)
+
+        run(scenario())
+        assert [len(w) for w in windows] == [4, 4, 1]
+
+    def test_timer_flush_without_filling(self):
+        windows: list = []
+
+        async def scenario():
+            co = Coalescer(echo_runner(windows), max_batch=64, window_s=0.005)
+            future = co.submit("only")
+            return await asyncio.wait_for(future, timeout=2.0)
+
+        assert run(scenario()) == "only"
+        assert windows == [["only"]]
+
+    def test_sequential_submissions_make_separate_windows(self):
+        windows: list = []
+
+        async def scenario():
+            co = Coalescer(echo_runner(windows), max_batch=64, window_s=0.0)
+            await co.submit("first")
+            await co.submit("second")
+
+        run(scenario())
+        assert windows == [["first"], ["second"]]
+
+    def test_cancelled_futures_dropped_before_runner(self):
+        windows: list = []
+
+        async def scenario():
+            co = Coalescer(echo_runner(windows), max_batch=64, window_s=10.0)
+            keep = co.submit("keep")
+            drop = co.submit("drop")
+            drop.cancel()
+            co.flush()
+            return await keep
+
+        assert run(scenario()) == "keep"
+        assert windows == [["keep"]]
+
+    def test_flush_empty_is_noop(self):
+        async def scenario():
+            co = Coalescer(echo_runner([]), max_batch=4, window_s=0.01)
+            co.flush()
+            return co.flushes
+
+        assert run(scenario()) == 0
+
+    def test_drain_completes_inflight_windows(self):
+        async def scenario():
+            done: list = []
+
+            async def slow_runner(entries):
+                await asyncio.sleep(0.02)
+                for item, future in entries:
+                    if not future.done():
+                        future.set_result(item)
+                done.append(len(entries))
+
+            co = Coalescer(slow_runner, max_batch=64, window_s=10.0)
+            futures = [co.submit(i) for i in range(3)]
+            await co.drain()
+            assert done == [3]
+            return await asyncio.gather(*futures)
+
+        assert run(scenario()) == [0, 1, 2]
+
+    def test_runner_exception_does_not_break_next_window(self):
+        calls: list = []
+
+        async def scenario():
+            async def flaky(entries):
+                calls.append(len(entries))
+                if len(calls) == 1:
+                    for _, future in entries:
+                        future.set_exception(RuntimeError("window 1 died"))
+                    raise RuntimeError("runner bug")
+                for item, future in entries:
+                    future.set_result(item)
+
+            co = Coalescer(flaky, max_batch=64, window_s=0.0)
+            with pytest.raises(RuntimeError):
+                await co.submit("a")
+            return await co.submit("b")
+
+        assert run(scenario()) == "b"
+        assert calls == [1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Coalescer(echo_runner([]), max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(echo_runner([]), window_s=-1.0)
