@@ -242,6 +242,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="control_interval", metavar="SECONDS")
     p_srv.add_argument("--slo", default=None, metavar="SLO.json",
                        help="JSON file overriding the serve default SLO")
+    p_srv.add_argument("--drain-timeout", type=float, default=5.0,
+                       dest="drain_timeout", metavar="SECONDS",
+                       help="SIGTERM/SIGINT drain budget: in-flight "
+                            "requests get this long to finish")
+    p_srv.add_argument("--metrics-snapshot", default=None,
+                       dest="metrics_snapshot", metavar="FILE.json",
+                       help="write a final metrics snapshot here on drain "
+                            "(post-mortem: doctor --metrics-from FILE.json)")
+    p_srv.add_argument("--reprobe-interval", type=float, default=1.0,
+                       dest="reprobe_interval", metavar="SECONDS",
+                       help="background circuit-breaker re-probe cadence "
+                            "(0 disables; dispatches still re-probe)")
 
     return parser
 
@@ -366,6 +378,7 @@ def _cmd_tune(ns: argparse.Namespace) -> int:
 
 def _cmd_serve(ns: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .control import SLO
     from .serve import SERVE_DEFAULT_SLO, MergeServer, ServeConfig
@@ -381,26 +394,62 @@ def _cmd_serve(ns: argparse.Namespace) -> int:
         small_cutover=ns.small_cutover,
         default_deadline_ms=ns.deadline_ms,
         control_interval_s=0.0 if ns.no_control else ns.control_interval,
+        drain_timeout_s=ns.drain_timeout,
+        metrics_snapshot=ns.metrics_snapshot,
+        reprobe_interval_s=ns.reprobe_interval,
         slo=SLO.from_file(ns.slo) if ns.slo else SERVE_DEFAULT_SLO,
     )
 
-    async def run() -> None:
+    async def run() -> int:
         server = MergeServer(config)
         await server.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        signals_seen: list[int] = []
+
+        def on_signal(signum: int) -> None:
+            signals_seen.append(signum)
+            stopping.set()
+
+        installed: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, on_signal, signum)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: Ctrl-C still lands as KeyboardInterrupt
         # The smoke harness and docs rely on this exact line.
         print(f"serving on {server.host}:{server.port}", flush=True)
+        serve_task = loop.create_task(server.serve_forever())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await stopping.wait()
+            name = (signal.Signals(signals_seen[0]).name
+                    if signals_seen else "signal")
+            print(f"{name}: draining (up to "
+                  f"{config.drain_timeout_s:g}s)...", flush=True)
+            clean = await server.drain()
+            if config.metrics_snapshot:
+                print(f"metrics snapshot: {config.metrics_snapshot}",
+                      flush=True)
+            print("drain "
+                  + ("complete" if clean else "timed out with work in flight"),
+                  flush=True)
+            return 0 if clean else 1
         finally:
+            serve_task.cancel()
+            try:
+                await serve_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:
-        asyncio.run(run())
+        return asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; server stopped", file=sys.stderr)
-    return 0
+        return 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -20,6 +20,10 @@ The :class:`Controller` wires them into one supervise-and-retune loop:
 
 Deterministic retune rules (in order; each fires at most once per step):
 
+* A :class:`~repro.resilience.RecoveryEvent` for a tuner-routable level
+  (``processes``) → restore the ``process_cutover`` Rule 1 displaced
+  (or recalibrate if the fall predates this controller): the breaker
+  re-probe proved the level healthy, so stop pinning work below it.
 * A degradation event whose fallen backend routes through the tuner
   (``processes``) → ``seed(process_cutover=NEVER)``: stop promoting
   threads→processes onto a level that just died.  Re-probing would be
@@ -49,7 +53,12 @@ from typing import TYPE_CHECKING, Any, Callable
 from ..execution.autotune import Autotuner, get_autotuner
 from ..execution.tuning import NEVER, HostFingerprint
 from ..obs.tracer import NULL_SPAN
-from ..resilience.degrade import DegradationEvent, subscribe_degradation
+from ..resilience.degrade import (
+    DegradationEvent,
+    RecoveryEvent,
+    subscribe_degradation,
+    subscribe_recovery,
+)
 from .slo import FAIL, SLO, SLOReport, evaluate_slo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,6 +99,7 @@ class ControlDecision:
     actions: tuple[ControlAction, ...]
     events: tuple[DegradationEvent, ...]
     delta: dict[str, Any]
+    recoveries: tuple[RecoveryEvent, ...] = ()
 
     @property
     def retuned(self) -> bool:
@@ -101,6 +111,11 @@ class ControlDecision:
             lines.append(
                 f"  event: {ev.backend} {ev.kind} → "
                 f"{ev.fallback or '<exhausted>'} ({ev.reason})"
+            )
+        for rec in self.recoveries:
+            lines.append(
+                f"  event: {rec.backend} recovered after {rec.outage_s:.2f}s "
+                f"({rec.opens} open(s))"
             )
         for act in self.actions:
             lines.append(f"  action: {act.describe()}")
@@ -137,22 +152,34 @@ class Controller:
         self.autotuner = autotuner or get_autotuner()
         self.tracer = tracer
         self._events: deque[DegradationEvent] = deque()
+        self._recoveries: deque[RecoveryEvent] = deque()
         self._unsubscribe: Callable[[], None] | None = None
+        self._unsubscribe_recovery: Callable[[], None] | None = None
         self._last_snapshot: dict[str, Any] | None = None
         self._fingerprint = self.autotuner.fingerprint()
+        #: ``process_cutover`` value Rule 1 displaced with NEVER, so the
+        #: recovery rule can restore it instead of guessing.
+        self._saved_process_cutover: int | None = None
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "Controller":
-        """Begin listening for degradation events (idempotent)."""
+        """Begin listening for degradation/recovery events (idempotent)."""
         if self._unsubscribe is None:
             self._unsubscribe = subscribe_degradation(self._events.append)
+        if self._unsubscribe_recovery is None:
+            self._unsubscribe_recovery = subscribe_recovery(
+                self._recoveries.append
+            )
         return self
 
     def stop(self) -> None:
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+        if self._unsubscribe_recovery is not None:
+            self._unsubscribe_recovery()
+            self._unsubscribe_recovery = None
 
     def __enter__(self) -> "Controller":
         return self.start()
@@ -168,6 +195,12 @@ class Controller:
             events.append(self._events.popleft())
         return tuple(events)
 
+    def _drain_recoveries(self) -> tuple[RecoveryEvent, ...]:
+        events = []
+        while self._recoveries:
+            events.append(self._recoveries.popleft())
+        return tuple(events)
+
     def step(self) -> ControlDecision:
         """One observe → evaluate → act cycle (see module docstring)."""
         span = (
@@ -178,28 +211,60 @@ class Controller:
             delta = self.registry.delta(self._last_snapshot)
             report = evaluate_slo(self.slo, delta)
             events = self._drain_events()
-            actions = self._decide(report, events)
-            self._publish(report, events, actions)
+            recoveries = self._drain_recoveries()
+            actions = self._decide(report, events, recoveries)
+            self._publish(report, events, actions, recoveries)
             self._last_snapshot = self.registry.snapshot()
             decision = ControlDecision(
-                report=report, actions=actions, events=events, delta=delta
+                report=report, actions=actions, events=events, delta=delta,
+                recoveries=recoveries,
             )
             span.set(status=report.status, actions=len(actions),
-                     events=len(events))
+                     events=len(events), recoveries=len(recoveries))
         return decision
 
     def _decide(
         self,
         report: SLOReport,
         events: tuple[DegradationEvent, ...],
+        recoveries: tuple[RecoveryEvent, ...] = (),
     ) -> tuple[ControlAction, ...]:
         actions: list[ControlAction] = []
         retuned = False
 
+        # Rule 0: a recovered tuner-routable level gets its cutover back.
+        # (Before Rule 1 so that recover-then-fall in one window still
+        # lands on NEVER — the most recent state wins.)
+        recovered = {rec.backend for rec in recoveries}
+        if "processes" in recovered:
+            if self.autotuner.thresholds().process_cutover == NEVER:
+                restored = self._saved_process_cutover
+                self._saved_process_cutover = None
+                if restored is not None:
+                    self.autotuner.seed(process_cutover=restored)
+                    actions.append(ControlAction(
+                        kind="seed",
+                        reason="processes level recovered; restoring the "
+                               "threads→processes promotion",
+                        details={"process_cutover": restored},
+                    ))
+                else:
+                    # We never saw the fall (started mid-outage): no
+                    # saved value to restore, so re-measure instead.
+                    self.autotuner.calibrate()
+                    actions.append(ControlAction(
+                        kind="recalibrate",
+                        reason="processes level recovered with no saved "
+                               "cutover; re-probing host crossovers",
+                    ))
+                retuned = True
+
         # Rule 1: a fallen tuner-routable level must stop receiving work.
         fallen = {ev.backend for ev in events}
         if "processes" in fallen:
-            if self.autotuner.thresholds().process_cutover != NEVER:
+            prior = self.autotuner.thresholds().process_cutover
+            if prior != NEVER:
+                self._saved_process_cutover = prior
                 self.autotuner.seed(process_cutover=NEVER)
                 actions.append(ControlAction(
                     kind="seed",
@@ -268,11 +333,14 @@ class Controller:
         report: SLOReport,
         events: tuple[DegradationEvent, ...],
         actions: tuple[ControlAction, ...],
+        recoveries: tuple[RecoveryEvent, ...] = (),
     ) -> None:
         reg = self.registry
         reg.counter("control.steps").inc()
         if events:
             reg.counter("control.degradations").inc(len(events))
+        if recoveries:
+            reg.counter("control.recoveries").inc(len(recoveries))
         retunes = sum(1 for a in actions if a.kind in ("seed", "recalibrate"))
         if retunes:
             reg.counter("control.retunes").inc(retunes)

@@ -1,0 +1,97 @@
+"""Durable on-disk state: atomic writes, corruption-tolerant reads.
+
+Every file this package persists across process lifetimes — the
+autotuner's calibration cache, the serve front door's final metrics
+snapshot, the doctor's structured verdict — is either *advisory* (a
+cache that can be rebuilt) or *post-mortem* (a snapshot read after the
+writer died).  Both demand the same two properties:
+
+* **writes are atomic**: a reader never observes a half-written file,
+  even if the writer is SIGKILLed mid-flush.  :func:`atomic_write_text`
+  writes to a same-directory temp file, ``fsync``\\ s it, and
+  ``os.replace``\\ s it over the target — the POSIX publish idiom.
+* **reads tolerate corruption**: a truncated or garbage payload is a
+  *miss*, never a crash.  :func:`load_json` reports ``absent`` /
+  ``corrupt`` / ``ok`` so callers can count corruption (e.g. the
+  ``autotune.cache_corrupt`` counter) and recalibrate instead of
+  raising at import time.
+
+Nothing here imports beyond the standard library, so every layer
+(execution, serve, control) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "load_json",
+]
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path`` (write-tmp/fsync/rename).
+
+    The temp file lives in the target's directory so ``os.replace`` is
+    a same-filesystem rename (atomic on POSIX).  On any failure the
+    temp file is removed and the previous ``path`` contents — if any —
+    are left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Publishing the rename itself is best-effort: not every platform
+    # allows opening a directory for fsync.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, *, indent: int | None = 2
+) -> None:
+    """:func:`atomic_write_text` for a JSON-serializable payload."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def load_json(path: str | Path) -> tuple[Any, str]:
+    """Read a JSON file, classifying the outcome instead of raising.
+
+    Returns ``(payload, state)`` where ``state`` is ``"ok"`` (payload
+    is the decoded document), ``"absent"`` (missing or unreadable
+    file), or ``"corrupt"`` (the file exists but does not parse —
+    truncated write, garbage bytes, wrong encoding).  Callers treat
+    anything but ``"ok"`` as a cache miss; ``"corrupt"`` additionally
+    deserves a counter, because it means a writer skipped the atomic
+    path or the disk lied.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return None, "absent"
+    try:
+        return json.loads(raw.decode("utf-8")), "ok"
+    except (UnicodeDecodeError, ValueError):
+        return None, "corrupt"

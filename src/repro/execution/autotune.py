@@ -44,7 +44,6 @@ measurement of the requested configuration, not a request for speed).
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -56,6 +55,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..durable import atomic_write_json, load_json
 from .tuning import (
     NEVER,
     SERIAL_MARGIN,
@@ -135,6 +135,12 @@ class Autotuner:
         self._cache_path = cache_path
         self._lock = threading.Lock()
         self._thresholds: Thresholds | None = None
+        #: Times a cache read found unparseable bytes (post-mortem
+        #: evidence a writer skipped the atomic path or the disk lied).
+        self.corrupt_loads = 0
+        #: Optional :class:`repro.obs.MetricsRegistry`; when set, corrupt
+        #: cache reads count into ``autotune.cache_corrupt`` there.
+        self.metrics = None
 
     @property
     def cache_path(self) -> Path:
@@ -147,30 +153,48 @@ class Autotuner:
     # -- persistence ---------------------------------------------------
 
     def _load(self) -> Thresholds | None:
-        """Cached thresholds, or ``None`` when absent/corrupt/stale."""
+        """Cached thresholds, or ``None`` when absent/corrupt/stale.
+
+        A corrupt payload (truncated write, garbage bytes) is a cache
+        miss that *also* bumps :attr:`corrupt_loads` and the
+        ``autotune.cache_corrupt`` counter — recalibrating silently
+        would hide a broken writer.
+        """
+        raw, state_str = load_json(self.cache_path)
+        if state_str == "corrupt":
+            self._note_corrupt()
+            return None
+        if state_str != "ok":
+            return None
         try:
-            raw = json.loads(self.cache_path.read_text())
             state = TuningState.from_payload(raw)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._note_corrupt()
             return None
         if not state.valid_for(self.fingerprint()):
             return None
         return replace(state.thresholds, source=f"cache:{self.cache_path}")
 
+    def _note_corrupt(self) -> None:
+        self.corrupt_loads += 1
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("autotune.cache_corrupt").inc()
+
     def cache_state(self) -> str:
-        """``"absent"`` | ``"stale"`` | ``"fresh"`` — for diagnostics."""
-        if not self.cache_path.exists():
-            return "absent"
+        """``"absent"`` | ``"corrupt"`` | ``"stale"`` | ``"fresh"`` —
+        for diagnostics."""
+        _, state_str = load_json(self.cache_path)
+        if state_str != "ok":
+            return "absent" if state_str == "absent" else "corrupt"
         return "fresh" if self._load() is not None else "stale"
 
     def _store(self, th: Thresholds) -> None:
         try:
-            path = self.cache_path
-            path.parent.mkdir(parents=True, exist_ok=True)
             payload = TuningState(
                 thresholds=th, fingerprint=self.fingerprint()
             ).to_payload()
-            path.write_text(json.dumps(payload, indent=2) + "\n")
+            atomic_write_json(self.cache_path, payload)
         except OSError:
             pass  # persistence is an optimization, never a requirement
 

@@ -27,8 +27,11 @@ Metric name conventions (full table in ``docs/observability.md``):
     Under the batched engine a sort call costs one dispatch per round
     (``O(log N)``) and a parallel merge exactly one.
 ``resilience.dispatches`` / ``.retries`` / ``.timeouts`` /
-``.speculations`` / ``.worker_deaths`` / ``.batches`` / ``.tasks``
-    Fault-tolerant execution totals (fed by ``ExecutionTelemetry``).
+``.speculations`` / ``.worker_deaths`` / ``.batches`` / ``.tasks`` /
+``.recoveries``
+    Fault-tolerant execution totals (fed by ``ExecutionTelemetry``);
+    ``.recoveries`` counts circuit-breaker re-promotions of a
+    previously failed degradation level.
 ``balance.work_spread`` / ``balance.time_imbalance`` /
 ``balance.workers``
     Load-balance gauges (Theorem 14 witnesses; see ``obs.balance``).
@@ -36,16 +39,26 @@ Metric name conventions (full table in ``docs/observability.md``):
     Canary-workload latency histograms; the SLO evaluator reads p50/p99
     straight off their summaries (see ``repro.control``).
 ``control.steps`` / ``.retunes`` / ``.degradations`` /
-``.slo_failures`` and gauge ``control.last_status``
+``.recoveries`` / ``.slo_failures`` and gauge ``control.last_status``
     The controller's own decisions — the control plane is observable
-    through the same registry it reads.
+    through the same registry it reads.  ``.recoveries`` counts
+    recovery events the controller consumed (restoring the cutover a
+    degradation displaced).
+``autotune.cache_corrupt``
+    Calibration-cache loads that found garbage bytes instead of JSON
+    (each is a counted miss, never a crash; see ``repro.durable``).
 ``serve.requests`` / ``.responses`` / ``.shed`` / ``.bad_requests`` /
 ``.errors`` / ``.deadline_misses`` / ``.connections`` /
-``.degradations`` / ``.batches`` / ``.coalesced_requests``, gauge
-``serve.inflight``, histograms ``serve.batch_size`` /
-``serve.latency_ms``
+``.degradations`` / ``.recoveries`` / ``.batches`` /
+``.coalesced_requests`` / ``.drains`` / ``.drain_rejects`` /
+``.oversize_lines``, gauge ``serve.inflight``, histograms
+``serve.batch_size`` / ``serve.latency_ms``
     The asyncio front door (:mod:`repro.serve`): admission and shed
     accounting, coalescer window sizes, end-to-end request latency.
+    Lifecycle hardening lands here too: ``.drains`` (graceful drains
+    begun), ``.drain_rejects`` (typed 503s to late arrivals),
+    ``.oversize_lines`` (typed 413s to over-long request frames), and
+    ``.recoveries`` (breaker re-promotions observed by the server).
     The server also observes batch-compute time into
     ``slo.ns_per_elem`` (+ ``slo.serve.ns_per_elem``) so ``doctor
     --slo --metrics-from`` judges live traffic with the same clauses

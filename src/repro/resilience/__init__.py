@@ -24,15 +24,19 @@ Components
     with health probes and :class:`DegradationWarning` diagnostics.
 """
 
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RecoveryPolicy
 from .degrade import (
     DEGRADATION_CHAIN,
     DegradationEvent,
     DegradationWarning,
     DegradingBackend,
+    RecoveryEvent,
     probe_backend,
     resolve_backend,
     subscribe_degradation,
+    subscribe_recovery,
 )
+from .netchaos import ChaosProxy, ChaosProxyThread, ChaosSpec
 from .faults import (
     FaultDecision,
     FaultInjector,
@@ -59,8 +63,18 @@ __all__ = [
     "DEGRADATION_CHAIN",
     "DegradationWarning",
     "DegradationEvent",
+    "RecoveryEvent",
     "subscribe_degradation",
+    "subscribe_recovery",
     "probe_backend",
     "resolve_backend",
     "DegradingBackend",
+    "CircuitBreaker",
+    "RecoveryPolicy",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ChaosSpec",
+    "ChaosProxy",
+    "ChaosProxyThread",
 ]

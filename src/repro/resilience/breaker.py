@@ -1,0 +1,232 @@
+"""Circuit breaker: closed → open → half-open → closed, with recovery.
+
+The degradation chain (PR 3) was a one-way ratchet: a level that
+exhausted its strike budget was disabled for the rest of the process,
+so one transient pool death pinned a server to ``serial`` forever.
+The breaker makes recovery a first-class state transition:
+
+``closed``
+    The level is healthy; failures accrue strikes.  At
+    ``failure_threshold`` strikes the breaker **opens**.
+``open``
+    The level receives no work for a cooldown period.  The cooldown is
+    exponential in the number of consecutive opens and jittered by a
+    *seeded* stream (``random.Random((seed, name, opens))``), so two
+    runs of the same chaos schedule produce the same reopen times and
+    a fleet of breakers does not re-probe in lockstep.
+``half-open``
+    The cooldown expired; exactly one caller wins :meth:`try_probe`
+    and runs a health probe.  Success **closes** the breaker (strikes
+    and the cooldown ladder reset); failure re-opens it with the next,
+    longer cooldown.
+
+Re-running work on a recovered level is safe for the same reason
+retries are: the paper's merge tasks are idempotent and write disjoint
+slices (Theorem 14), so nothing about a level's death-and-rebirth can
+corrupt a result — the only question is *when* to trust it again,
+which is exactly what this state machine answers.
+
+Time is injected (``clock=``) so tests drive the cooldown ladder
+deterministically instead of sleeping and hoping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import InputError
+
+__all__ = ["RecoveryPolicy", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+#: Breaker states (string-valued for cheap introspection/logging).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for breaker cooldown and re-probe behavior.
+
+    Parameters
+    ----------
+    cooldown_s:
+        Base cooldown after the first open.
+    multiplier / cooldown_cap_s:
+        Consecutive opens grow the cooldown exponentially
+        (``min(cap, cooldown_s * multiplier**(opens-1))``) — a level
+        that keeps failing its re-probe is consulted less and less.
+    jitter:
+        Fractional jitter: each cooldown is multiplied by
+        ``1 + U(0, jitter)`` drawn from a stream seeded with
+        ``(seed, breaker-name, open-count)``, reproducible by seed.
+    seed:
+        Seeds the jitter stream.
+    """
+
+    cooldown_s: float = 5.0
+    multiplier: float = 2.0
+    cooldown_cap_s: float = 120.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cooldown_s <= 0:
+            raise InputError("cooldown_s must be positive")
+        if self.multiplier < 1.0:
+            raise InputError("multiplier must be >= 1")
+        if self.cooldown_cap_s < self.cooldown_s:
+            raise InputError("cooldown_cap_s must be >= cooldown_s")
+        if self.jitter < 0:
+            raise InputError("jitter must be >= 0")
+
+    def cooldown_for(self, name: str, opens: int) -> float:
+        """Jittered cooldown before re-probe ``opens`` (1-based)."""
+        base = min(
+            self.cooldown_cap_s,
+            self.cooldown_s * self.multiplier ** (opens - 1),
+        )
+        rng = random.Random(f"{self.seed}:{name}:{opens}")
+        return base * (1.0 + rng.random() * self.jitter)
+
+
+class CircuitBreaker:
+    """One level's health state machine (thread-safe).
+
+    ``policy=None`` degrades to the legacy one-way ratchet: once open,
+    the breaker never half-opens, which is exactly the pre-breaker
+    ``DegradingBackend`` behavior (a disabled level stays disabled).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 1,
+        policy: RecoveryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.failure_threshold = max(1, failure_threshold)
+        self.policy = policy
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._strikes = 0
+        self._opens = 0  #: consecutive opens since the last close
+        self._opened_at = 0.0
+        self._reopen_at = float("inf")
+        self._last_reason = ""
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state string (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def strikes(self) -> int:
+        """Failures accrued in the current closed period."""
+        with self._lock:
+            return self._strikes
+
+    @property
+    def opens(self) -> int:
+        """Consecutive opens since the breaker last closed."""
+        with self._lock:
+            return self._opens
+
+    @property
+    def last_reason(self) -> str:
+        """The failure message that caused the most recent strike."""
+        with self._lock:
+            return self._last_reason
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until a half-open probe is allowed (0 when ready;
+        ``inf`` when recovery is disabled or the breaker is closed)."""
+        with self._lock:
+            if self._state != OPEN or self.policy is None:
+                return float("inf") if self._state == OPEN else 0.0
+            return max(0.0, self._reopen_at - self.clock())
+
+    # -- transitions ---------------------------------------------------
+
+    def record_failure(self, reason: str = "") -> bool:
+        """Register one failure; returns True when this strike opened
+        (or re-opened) the breaker."""
+        with self._lock:
+            self._last_reason = reason
+            if self._state == HALF_OPEN:
+                # The probe's own batch failed: straight back to open.
+                self._open_locked()
+                return True
+            self._strikes += 1
+            if self._state == CLOSED and self._strikes >= self.failure_threshold:
+                self._open_locked()
+                return True
+            return False
+
+    def _open_locked(self) -> None:
+        self._state = OPEN
+        self._strikes = 0
+        self._opens += 1
+        self._opened_at = self.clock()
+        if self.policy is None:
+            self._reopen_at = float("inf")
+        else:
+            self._reopen_at = self._opened_at + self.policy.cooldown_for(
+                self.name, self._opens
+            )
+
+    def allows(self) -> bool:
+        """Whether a caller may route work through this level *now*
+        (read-only: never transitions state)."""
+        with self._lock:
+            return self._state == CLOSED
+
+    def try_probe(self) -> bool:
+        """Attempt to claim the half-open probe slot.
+
+        Returns True for exactly one caller once the cooldown expired;
+        that caller must follow up with :meth:`record_probe_success` or
+        :meth:`record_probe_failure`.  Everyone else keeps falling
+        through to lower levels while the probe is in flight.
+        """
+        with self._lock:
+            if self._state != OPEN or self.clock() < self._reopen_at:
+                return False
+            self._state = HALF_OPEN
+            return True
+
+    def record_probe_success(self) -> float:
+        """Close the breaker after a successful probe; returns how long
+        the level was out of rotation (seconds since it first opened)."""
+        with self._lock:
+            outage = max(0.0, self.clock() - self._opened_at)
+            self._state = CLOSED
+            self._strikes = 0
+            self._opens = 0
+            self._reopen_at = float("inf")
+            return outage
+
+    def record_probe_failure(self, reason: str = "") -> None:
+        """Re-open after a failed probe (the cooldown ladder grows)."""
+        with self._lock:
+            self._last_reason = reason
+            self._open_locked()
+
+    def describe(self) -> str:
+        """One-line diagnostic for logs and doctor output."""
+        with self._lock:
+            if self._state == OPEN and self.policy is not None:
+                wait = max(0.0, self._reopen_at - self.clock())
+                return (f"{self.name}: open (reprobe in {wait:.2f}s, "
+                        f"opens={self._opens})")
+            return f"{self.name}: {self._state} (strikes={self._strikes})"

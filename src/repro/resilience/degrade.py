@@ -11,13 +11,23 @@ Two entry points:
   lazily, each wrapped in a :class:`ResilientBackend`; when a batch
   still fails after that layer's retries (e.g. the pool keeps dying),
   the level accrues a strike, the batch transparently re-runs on the
-  next level, and a level that exhausts its strike budget is disabled
-  for the rest of the run.
+  next level, and a level that exhausts its strike budget trips its
+  per-level :class:`~repro.resilience.breaker.CircuitBreaker`.
+
+Degradation is no longer a one-way ratchet: pass a
+:class:`~repro.resilience.breaker.RecoveryPolicy` and a tripped level
+re-enters rotation through the breaker's seeded-jitter cooldown and a
+health re-probe (half-open → closed), emitting a structured
+:class:`RecoveryEvent` that subscribers — the control plane, the serve
+front door — consume to undo their own degradation reactions.  With
+``recovery=None`` (the default) a tripped level stays out for the rest
+of the run, the pre-breaker behavior.
 
 The re-run-elsewhere move is safe for the same reason retries are: the
 paper's merge tasks are idempotent and write disjoint slices
 (Theorem 14), so a batch that half-ran on a dying pool can be replayed
-wholesale on another executor.  The serial tail of the default chain
+wholesale on another executor — and one that re-runs on a *recovered*
+executor is just another replay.  The serial tail of the default chain
 cannot die, so a degrading execution always completes (or surfaces a
 genuine task bug).
 """
@@ -25,6 +35,7 @@ genuine task bug).
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -34,6 +45,7 @@ import numpy as np
 from ..backends.base import Backend
 from ..errors import BackendError, BackendUnavailableError, InputError
 from ..types import Partition
+from .breaker import CLOSED, CircuitBreaker, RecoveryPolicy
 from .policy import RetryPolicy
 from .resilient import ResilientBackend
 from .telemetry import ExecutionTelemetry
@@ -42,7 +54,9 @@ __all__ = [
     "DEGRADATION_CHAIN",
     "DegradationWarning",
     "DegradationEvent",
+    "RecoveryEvent",
     "subscribe_degradation",
+    "subscribe_recovery",
     "probe_backend",
     "resolve_backend",
     "DegradingBackend",
@@ -82,8 +96,36 @@ class DegradationEvent:
     what: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    """One structured hop *back up* the degradation chain.
+
+    The mirror image of :class:`DegradationEvent`: a level whose
+    circuit breaker half-opened just passed its health re-probe and
+    re-entered rotation.  Subscribers use it to undo whatever they did
+    when the level fell — the :class:`repro.control.Controller` clears
+    its ``process_cutover=NEVER`` seed, the serve front door counts
+    ``serve.recoveries``.
+
+    ``backend``
+        The recovered level's name.
+    ``outage_s``
+        How long the level was out of rotation (first open → close).
+    ``opens``
+        How many open→half-open cycles it took (1 = first re-probe
+        succeeded).
+    """
+
+    backend: str
+    outage_s: float
+    opens: int
+    reason: str = ""
+    what: str = ""
+
+
 _SUB_LOCK = threading.Lock()
 _SUBSCRIBERS: list[Callable[[DegradationEvent], None]] = []
+_RECOVERY_SUBSCRIBERS: list[Callable[[RecoveryEvent], None]] = []
 
 
 def subscribe_degradation(
@@ -106,6 +148,26 @@ def subscribe_degradation(
     return unsubscribe
 
 
+def subscribe_recovery(
+    callback: Callable[[RecoveryEvent], None],
+) -> Callable[[], None]:
+    """Register ``callback`` for every :class:`RecoveryEvent`; returns
+    an unsubscribe function.  Same contract as
+    :func:`subscribe_degradation`: callbacks must be cheap and their
+    exceptions are swallowed."""
+    with _SUB_LOCK:
+        _RECOVERY_SUBSCRIBERS.append(callback)
+
+    def unsubscribe() -> None:
+        with _SUB_LOCK:
+            try:
+                _RECOVERY_SUBSCRIBERS.remove(callback)
+            except ValueError:
+                pass
+
+    return unsubscribe
+
+
 def _emit_event(event: DegradationEvent) -> None:
     with _SUB_LOCK:
         subscribers = list(_SUBSCRIBERS)
@@ -113,6 +175,16 @@ def _emit_event(event: DegradationEvent) -> None:
         try:
             cb(event)
         except Exception:  # noqa: BLE001 - observers never break fallback
+            pass
+
+
+def _emit_recovery(event: RecoveryEvent) -> None:
+    with _SUB_LOCK:
+        subscribers = list(_RECOVERY_SUBSCRIBERS)
+    for cb in subscribers:
+        try:
+            cb(event)
+        except Exception:  # noqa: BLE001 - observers never break recovery
             pass
 
 
@@ -239,7 +311,21 @@ class DegradingBackend(Backend):
     :class:`~repro.errors.BackendError`, the level takes a strike, a
     :class:`DegradationWarning` is emitted, and the batch is replayed on
     the next level (safe: tasks are idempotent with disjoint outputs).
-    A level with ``failure_threshold`` strikes is disabled for good.
+    A level with ``failure_threshold`` strikes trips its circuit
+    breaker.
+
+    ``recovery`` decides what a tripped breaker means: ``None`` (the
+    default) keeps the level out for the rest of the run; a
+    :class:`~repro.resilience.breaker.RecoveryPolicy` re-probes it
+    after a seeded-jitter cooldown — on the next dispatch that crosses
+    the level, via an explicit :meth:`reprobe` call (the serve front
+    door runs one in the background), or both.  A passed re-probe
+    emits a :class:`RecoveryEvent`, counts ``resilience.recoveries``
+    when the telemetry is bound to a registry, and puts the level back
+    in front of everything below it.
+
+    ``clock`` injects time for the breakers (tests advance a fake
+    clock instead of sleeping through cooldowns).
     """
 
     name = "degrading"
@@ -251,6 +337,8 @@ class DegradingBackend(Backend):
         policy: RetryPolicy | None = None,
         max_workers: int | None = None,
         failure_threshold: int = 1,
+        recovery: RecoveryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not chain:
             raise BackendError("degradation chain must not be empty")
@@ -258,8 +346,10 @@ class DegradingBackend(Backend):
         self._policy = policy
         self._max_workers = max_workers
         self._failure_threshold = max(1, failure_threshold)
+        self._recovery = recovery
+        self._clock = clock
         self._levels: dict[int, ResilientBackend] = {}
-        self._strikes: dict[int, int] = {}
+        self._breakers: dict[int, CircuitBreaker] = {}
         self._disabled: dict[int, str] = {}
         self.telemetry = ExecutionTelemetry()
 
@@ -268,6 +358,18 @@ class DegradingBackend(Backend):
         return entry if isinstance(entry, str) else getattr(
             entry, "name", type(entry).__name__
         )
+
+    def _breaker(self, index: int) -> CircuitBreaker:
+        breaker = self._breakers.get(index)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._entry_name(index),
+                failure_threshold=self._failure_threshold,
+                policy=self._recovery,
+                clock=self._clock,
+            )
+            self._breakers[index] = breaker
+        return breaker
 
     def _level(self, index: int) -> ResilientBackend:
         level = self._levels.get(index)
@@ -290,19 +392,103 @@ class DegradingBackend(Backend):
     def _disable(self, index: int, reason: str) -> None:
         self._disabled[index] = reason
 
+    def _eligible(self, index: int) -> bool:
+        """Whether a level may receive work right now (no transitions)."""
+        if index in self._disabled:
+            return False
+        breaker = self._breakers.get(index)
+        return breaker is None or breaker.allows()
+
     @property
     def active_backend(self) -> str | None:
         """Name of the first level still eligible to run batches."""
         for i in range(len(self._entries)):
-            if i not in self._disabled:
+            if self._eligible(i):
                 return self._entry_name(i)
         return None
 
+    def breaker_states(self) -> dict[str, str]:
+        """Per-level breaker state, for doctor output and tests."""
+        out: dict[str, str] = {}
+        for i in range(len(self._entries)):
+            name = self._entry_name(i)
+            if i in self._disabled:
+                out[name] = "disabled"
+            else:
+                breaker = self._breakers.get(i)
+                out[name] = breaker.state if breaker is not None else CLOSED
+        return out
+
     def _next_level_name(self, index: int) -> str | None:
         for j in range(index + 1, len(self._entries)):
-            if j not in self._disabled:
+            if self._eligible(j):
                 return self._entry_name(j)
         return None
+
+    def _recover(self, index: int, breaker: CircuitBreaker) -> bool:
+        """Run the half-open health probe for ``index``.
+
+        The caller must have claimed the probe slot via
+        ``breaker.try_probe()``.  Returns True when the level passed and
+        is back in rotation (a :class:`RecoveryEvent` was emitted).
+        """
+        name = self._entry_name(index)
+        opens = breaker.opens
+        # A dead pool does not heal by being asked again: rebuild
+        # constructible (string) entries from scratch before probing.
+        if isinstance(self._entries[index], str):
+            stale = self._levels.pop(index, None)
+            if stale is not None:
+                try:
+                    stale.close()
+                except Exception:  # noqa: BLE001 - old pool may be wrecked
+                    pass
+        try:
+            level = self._level(index)
+        except (BackendError, InputError) as exc:
+            breaker.record_probe_failure(f"rebuild failed: {exc}")
+            return False
+        defect = _probe_instance(level)
+        if defect is not None:
+            breaker.record_probe_failure(defect)
+            return False
+        outage = breaker.record_probe_success()
+        event = RecoveryEvent(
+            backend=name,
+            outage_s=outage,
+            opens=opens,
+            reason=breaker.last_reason,
+            what="health re-probe",
+        )
+        registry = self.telemetry.metrics
+        if registry is not None:
+            registry.counter("resilience.recoveries").inc()
+        _emit_recovery(event)
+        warnings.warn(
+            f"recovery: backend {name!r} passed its re-probe after "
+            f"{outage:.2f}s out of rotation; promoting",
+            DegradationWarning,
+            stacklevel=4,
+        )
+        return True
+
+    def reprobe(self) -> list[str]:
+        """Re-probe every open breaker whose cooldown has expired.
+
+        Returns the names of levels that recovered.  Safe to call from
+        a background loop (the serve front door does); dispatches also
+        re-probe opportunistically, so calling this is an optimization
+        for idle periods, not a requirement.
+        """
+        recovered: list[str] = []
+        for i in range(len(self._entries)):
+            if i in self._disabled:
+                continue
+            breaker = self._breakers.get(i)
+            if breaker is not None and breaker.try_probe():
+                if self._recover(i, breaker):
+                    recovered.append(self._entry_name(i))
+        return recovered
 
     def _dispatch(self, op: Callable[[ResilientBackend], Any], what: str) -> Any:
         last: BackendError | None = None
@@ -310,6 +496,12 @@ class DegradingBackend(Backend):
             if i in self._disabled:
                 continue
             name = self._entry_name(i)
+            breaker = self._breakers.get(i)
+            if breaker is not None and not breaker.allows():
+                # Open level: opportunistically re-probe once the
+                # cooldown expired, then fall through on failure.
+                if not (breaker.try_probe() and self._recover(i, breaker)):
+                    continue
             try:
                 level = self._level(i)
             except BackendUnavailableError as exc:
@@ -333,10 +525,7 @@ class DegradingBackend(Backend):
                 return op(level)
             except BackendError as exc:
                 last = exc
-                strikes = self._strikes.get(i, 0) + 1
-                self._strikes[i] = strikes
-                if strikes >= self._failure_threshold:
-                    self._disable(i, f"failed {strikes} batch(es): {exc}")
+                self._breaker(i).record_failure(str(exc))
                 _emit_event(DegradationEvent(
                     kind="batch-failed",
                     backend=name,

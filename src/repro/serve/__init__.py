@@ -10,7 +10,14 @@ judge (``doctor --slo --metrics-from``).  See ``docs/serving.md``.
 """
 
 from .admission import AdmissionController
-from .client import AsyncServeClient, ServeClient, request_sync
+from .client import (
+    AsyncResilientClient,
+    AsyncServeClient,
+    ClientRetryPolicy,
+    ResilientClient,
+    ServeClient,
+    request_sync,
+)
 from .coalescer import Coalescer
 from .protocol import (
     ERROR_CODES,
@@ -42,4 +49,7 @@ __all__ = [
     "request_sync",
     "ServeClient",
     "AsyncServeClient",
+    "ClientRetryPolicy",
+    "ResilientClient",
+    "AsyncResilientClient",
 ]

@@ -31,6 +31,10 @@ status-code buckets):
     unsorted inputs to ``merge``/``topk``, ``k`` out of range.
 ``too-large`` / 413
     More elements than the server's ``max_request_elems``.
+``line-too-long`` / 413
+    The raw request line exceeded the server's ``max_line_bytes``
+    before a newline arrived; the oversized line is discarded without
+    buffering it whole, so a garbage flood can't balloon reader memory.
 ``shed`` / 429
     Admission control rejected the request (queue at capacity).  The
     client should back off and retry; the payload is the 429-style
@@ -39,6 +43,12 @@ status-code buckets):
     The per-request deadline expired before a result was ready.
 ``internal`` / 500
     The compute path raised after every resilience layer gave up.
+``draining`` / 503
+    The server received SIGTERM/SIGINT and is draining: in-flight
+    requests finish, new data requests get this typed rejection
+    (``ping``/``metrics`` still answer, so post-mortem scrapes work).
+    Safe to retry against another replica — requests are idempotent
+    pure functions.
 
 Arrays are JSON numbers; all-integer arrays round-trip as int64 and
 any float promotes the array to float64 (numpy's own coercion), so a
@@ -72,9 +82,11 @@ OPS = ("merge", "sort", "topk", "ping", "metrics")
 ERROR_CODES = {
     "bad-request": 400,
     "too-large": 413,
+    "line-too-long": 413,
     "shed": 429,
     "deadline": 504,
     "internal": 500,
+    "draining": 503,
 }
 
 

@@ -48,7 +48,12 @@ from ..core.sequential import merge_vectorized
 from ..errors import InputError
 from ..execution.pool import shared_backend
 from ..obs.metrics import MetricsRegistry
-from ..resilience.degrade import DegradingBackend, subscribe_degradation
+from ..resilience.breaker import RecoveryPolicy
+from ..resilience.degrade import (
+    DegradingBackend,
+    subscribe_degradation,
+    subscribe_recovery,
+)
 from ..resilience.policy import RetryPolicy
 from .admission import AdmissionController
 from .coalescer import Coalescer
@@ -98,8 +103,11 @@ class ServeConfig:
     small_cutover: int = 1 << 15  #: elems at or below coalesce; above run parallel.
     default_deadline_ms: float | None = None  #: applied when requests carry none.
     max_request_elems: int = 1 << 20  #: 413 beyond this.
-    max_line_bytes: int = 1 << 26  #: stream reader limit (64 MiB).
+    max_line_bytes: int = 1 << 26  #: request-line cap (64 MiB); typed 413 beyond.
     control_interval_s: float = 0.0  #: > 0 runs a background Controller.
+    drain_timeout_s: float = 5.0  #: graceful-drain budget on SIGTERM.
+    metrics_snapshot: str | None = None  #: path for the post-mortem snapshot.
+    reprobe_interval_s: float = 0.0  #: > 0 re-probes open breakers in background.
     slo: SLO = field(default_factory=lambda: SERVE_DEFAULT_SLO)
 
     def resolved_p(self) -> int:
@@ -108,6 +116,62 @@ class ServeConfig:
         if self.p is not None:
             return max(1, self.p)
         return min(4, os.cpu_count() or 1)
+
+
+class _LineReader:
+    """Bounded line reader that survives oversized lines.
+
+    ``StreamReader.readline`` raises at its limit and poisons the
+    buffer, killing the connection along with every pipelined request
+    behind the bad line.  This reader owns the buffer: a line that
+    exceeds ``max_bytes`` is *discarded as it streams in* (memory stays
+    bounded at one chunk past the cap) and reported so the server can
+    answer a typed 413 ``line-too-long``, while bytes after the
+    offending newline are preserved for the next call.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, reader: asyncio.StreamReader, max_bytes: int) -> None:
+        self._reader = reader
+        self.max_bytes = max_bytes
+        self._buf = bytearray()
+        self._eof = False
+
+    async def readline(self) -> tuple[bytes | None, bool]:
+        """Next request line as ``(line, oversized)``.
+
+        ``line`` is ``None`` at EOF; ``oversized`` is True when a line
+        crossed ``max_bytes`` (its content was dropped, the connection
+        remains usable).
+        """
+        discarding = False
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[:newline + 1]
+                if discarding or len(line) > self.max_bytes:
+                    return b"", True
+                return line + b"\n", False
+            if discarding:
+                self._buf.clear()
+            elif len(self._buf) > self.max_bytes:
+                self._buf.clear()
+                discarding = True
+            if self._eof:
+                if discarding:
+                    return b"", True
+                if self._buf:
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    return line, False
+                return None, False
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
 
 
 class MergeServer:
@@ -145,6 +209,9 @@ class MergeServer:
                     speculate=False,
                 ),
                 failure_threshold=3,
+                # A service must recover, not just degrade: a transient
+                # pool death re-promotes after the breaker's cooldown.
+                recovery=RecoveryPolicy(cooldown_s=2.0, cooldown_cap_s=60.0),
             )
         self.backend = backend
         telemetry = getattr(backend, "telemetry", None)
@@ -161,8 +228,11 @@ class MergeServer:
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._unsubscribe = None
+        self._unsubscribe_recovery = None
         self._controller = None
         self._control_task: asyncio.Task | None = None
+        self._reprobe_task: asyncio.Task | None = None
+        self._draining = False
 
     # -- lifecycle -----------------------------------------------------
 
@@ -177,8 +247,14 @@ class MergeServer:
             return self.config.port
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun (data requests get 503s)."""
+        return self._draining
+
     async def start(self) -> "MergeServer":
         self._unsubscribe = subscribe_degradation(self._on_degradation)
+        self._unsubscribe_recovery = subscribe_recovery(self._on_recovery)
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -194,20 +270,78 @@ class MergeServer:
             self._control_task = asyncio.get_running_loop().create_task(
                 self._control_loop()
             )
+        if (self.config.reprobe_interval_s > 0
+                and hasattr(self.backend, "reprobe")):
+            self._reprobe_task = asyncio.get_running_loop().create_task(
+                self._reprobe_loop()
+            )
         return self
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    async def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown, phase 1: stop accepting, finish in flight.
+
+        Closes the listener, flips :attr:`draining` so new data
+        requests on surviving connections get typed 503 ``draining``
+        rejections (``ping``/``metrics`` still answer — the post-mortem
+        scrape depends on it), then waits up to ``timeout_s`` (default
+        ``config.drain_timeout_s``) for the admission ledger to empty.
+        Every admitted request is answered before this returns True; a
+        False return means the budget expired with work still in
+        flight.  Always flushes the metrics snapshot (when configured)
+        so ``doctor --metrics-from`` can judge the final window.
+        """
+        if not self._draining:
+            self._draining = True
+            self.registry.counter("serve.drains").inc()
+            if self._server is not None:
+                self._server.close()
+        budget = (
+            self.config.drain_timeout_s if timeout_s is None else timeout_s
+        )
+        deadline = time.monotonic() + max(0.0, budget)
+        while self.admission.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        clean = self.admission.inflight == 0
+        await self.coalescer.drain()
+        self.flush_snapshot()
+        return clean
+
+    def flush_snapshot(self, path: str | None = None) -> str | None:
+        """Atomically publish a ``repro-serve-metrics/1`` snapshot.
+
+        ``path`` defaults to ``config.metrics_snapshot``; no-op (returns
+        ``None``) when neither is set.  The payload wraps the registry
+        snapshot under a ``"metrics"`` key, the shape
+        :func:`repro.control.doctor.load_metrics_snapshot` already
+        accepts, so a post-mortem ``doctor --metrics-from`` works on a
+        snapshot written mid-SIGTERM.
+        """
+        target = path or self.config.metrics_snapshot
+        if not target:
+            return None
+        from ..durable import atomic_write_json
+
+        atomic_write_json(target, {
+            "schema": "repro-serve-metrics/1",
+            "draining": self._draining,
+            "metrics": self.registry.snapshot(),
+        })
+        return target
+
     async def stop(self) -> None:
-        if self._control_task is not None:
-            self._control_task.cancel()
-            try:
-                await self._control_task
-            except asyncio.CancelledError:
-                pass
-            self._control_task = None
+        for attr in ("_control_task", "_reprobe_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         if self._controller is not None:
             self._controller.stop()
             self._controller = None
@@ -221,9 +355,11 @@ class MergeServer:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
         await self.coalescer.drain()
-        if self._unsubscribe is not None:
-            self._unsubscribe()
-            self._unsubscribe = None
+        for attr in ("_unsubscribe", "_unsubscribe_recovery"):
+            unsubscribe = getattr(self, attr)
+            if unsubscribe is not None:
+                unsubscribe()
+                setattr(self, attr, None)
         if self._owns_backend:
             # Closes levels the chain constructed itself; the shared
             # pooled level is owned by repro.execution.pool, not us.
@@ -232,6 +368,25 @@ class MergeServer:
     def _on_degradation(self, event) -> None:
         self.registry.counter("serve.degradations").inc()
         self.registry.counter(f"serve.degradations.{event.kind}").inc()
+
+    def _on_recovery(self, event) -> None:
+        self.registry.counter("serve.recoveries").inc()
+
+    async def _reprobe_loop(self) -> None:
+        """Background breaker re-probe (tentpole (b)'s idle half).
+
+        Dispatches already re-probe opportunistically; this loop covers
+        the idle server, where no dispatch would ever cross the open
+        level and a recovered pool would sit unused until traffic
+        returned.  Runs in the executor — a probe executes a real task.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.reprobe_interval_s)
+            try:
+                await loop.run_in_executor(None, self.backend.reprobe)
+            except Exception:  # noqa: BLE001 - keep the loop alive
+                pass
 
     async def _control_loop(self) -> None:
         """The live-traffic control loop (ROADMAP item-5 follow-up).
@@ -261,14 +416,26 @@ class MergeServer:
         write_lock = asyncio.Lock()
         request_tasks: set[asyncio.Task] = set()
         loop = asyncio.get_running_loop()
+        lines = _LineReader(reader, self.config.max_line_bytes)
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ValueError, ConnectionError):
-                    break  # oversized line or peer reset: drop the conn
-                if not line:
+                    line, oversized = await lines.readline()
+                except ConnectionError:
+                    break  # peer reset: drop the conn
+                if line is None:
                     break
+                if oversized:
+                    self.registry.counter("serve.oversize_lines").inc()
+                    await self._write(
+                        writer, write_lock, error_response(RequestError(
+                            "line-too-long",
+                            f"request line exceeded "
+                            f"{self.config.max_line_bytes} bytes and was "
+                            f"discarded",
+                        ))
+                    )
+                    continue
                 if not line.strip():
                     continue
                 task = loop.create_task(
@@ -279,6 +446,11 @@ class MergeServer:
             if request_tasks:
                 await asyncio.gather(*list(request_tasks),
                                      return_exceptions=True)
+        except asyncio.CancelledError:
+            # stop() cancelling a handler parked on a read is a normal
+            # shutdown path; returning (not re-raising) keeps asyncio's
+            # stream-protocol callback from logging a phantom error.
+            pass
         finally:
             for task in list(request_tasks):
                 task.cancel()
@@ -333,6 +505,14 @@ class MergeServer:
             return
 
         reg.counter("serve.requests").inc()
+        if self._draining:
+            reg.counter("serve.drain_rejects").inc()
+            await self._write(writer, write_lock, error_response(RequestError(
+                "draining",
+                "server is draining; retry against another replica",
+                request.req_id,
+            )))
+            return
         if not self.admission.try_admit():
             # counted as serve.shed by the admission controller
             await self._write(writer, write_lock, error_response(RequestError(
@@ -555,6 +735,21 @@ class ServerThread:
         if self._startup_error is not None:
             raise self._startup_error
         return self
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Run :meth:`MergeServer.drain` on the server's loop; returns
+        its clean/dirty verdict.  The thread keeps running (existing
+        connections can still scrape ``metrics``) until :meth:`stop`."""
+        if self._thread is None or self._loop is None:
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout_s), self._loop
+        )
+        budget = (
+            self.server.config.drain_timeout_s
+            if timeout_s is None else timeout_s
+        )
+        return future.result(timeout=budget + 30.0)
 
     def stop(self, timeout: float = 30.0) -> None:
         if self._thread is None:

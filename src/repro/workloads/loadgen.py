@@ -47,6 +47,7 @@ class LoadSpec:
     pipeline: int = 8  #: requests in flight per connection.
     duration_s: float = 0.0  #: > 0 loops the request list until time is up.
     deadline_ms: float | None = None  #: attached to every request when set.
+    recv_timeout_s: float = 30.0  #: per-read stall budget; see ``stalls``.
 
 
 @dataclass(slots=True)
@@ -59,7 +60,11 @@ class LoadReport:
     shed: int = 0
     deadline_misses: int = 0
     bad_requests: int = 0
+    draining: int = 0
     errors: int = 0
+    unmatched: int = 0  #: responses whose id matched nothing in flight.
+    disconnects: int = 0  #: connections the server/network dropped mid-run.
+    stalls: int = 0  #: reads that hit ``recv_timeout_s`` (lost responses).
     elapsed_s: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
 
@@ -70,16 +75,22 @@ class LoadReport:
         self.shed += other.shed
         self.deadline_misses += other.deadline_misses
         self.bad_requests += other.bad_requests
+        self.draining += other.draining
         self.errors += other.errors
+        self.unmatched += other.unmatched
+        self.disconnects += other.disconnects
+        self.stalls += other.stalls
         self.latencies_ms.extend(other.latencies_ms)
 
     def summary(self) -> dict[str, Any]:
         lat = sorted(self.latencies_ms)
 
-        def pct(q: float) -> float:
+        def pct(q: float) -> float | None:
+            # None, not a fake 0.0: an empty window has no percentile,
+            # and a dashboard must see "no data", not "0 ms tail".
             if not lat:
-                return 0.0
-            return lat[min(len(lat) - 1, int(q * len(lat)))]
+                return None
+            return round(lat[min(len(lat) - 1, int(q * len(lat)))], 3)
 
         return {
             "sent": self.sent,
@@ -88,13 +99,17 @@ class LoadReport:
             "shed": self.shed,
             "deadline_misses": self.deadline_misses,
             "bad_requests": self.bad_requests,
+            "draining": self.draining,
             "errors": self.errors,
+            "unmatched": self.unmatched,
+            "disconnects": self.disconnects,
+            "stalls": self.stalls,
             "elapsed_s": round(self.elapsed_s, 3),
             "rps": round(self.sent / self.elapsed_s, 1)
             if self.elapsed_s > 0 else 0.0,
             "latency_ms": {
-                "p50": round(pct(0.50), 3),
-                "p99": round(pct(0.99), 3),
+                "p50": pct(0.50),
+                "p99": pct(0.99),
             },
         }
 
@@ -179,22 +194,48 @@ async def _run_client(
             inflight: dict[str, tuple[dict[str, Any], float]] = {}
 
             async def collect_one() -> None:
-                response = await client.recv()
-                req, t0 = inflight.pop(response.get("id"))
+                # Bounded read: a response that never comes (a chaos
+                # proxy ate the frame, or the server 400'd a corrupted
+                # request under its own null id) must cost a counted
+                # stall, never a hung soak.
+                response = await asyncio.wait_for(
+                    client.recv(), spec.recv_timeout_s
+                )
+                entry = inflight.pop(response.get("id"), None)
+                if entry is None:
+                    # A response we never asked for (or already gave up
+                    # on) — possible when the path corrupts a frame's
+                    # id.  Count it; never crash the collector.
+                    report.unmatched += 1
+                    return
+                req, t0 = entry
                 latency_ms = (time.monotonic() - t0) * 1e3
                 _score(report, req, response, latency_ms)
 
-            for base in requests:
-                if deadline is not None and time.monotonic() >= deadline:
-                    break
-                req = base if lap == 0 else {**base, "id": f"{base['id']}-l{lap}"}
-                while len(inflight) >= max(1, spec.pipeline):
+            try:
+                for base in requests:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        break
+                    req = (base if lap == 0
+                           else {**base, "id": f"{base['id']}-l{lap}"})
+                    while len(inflight) >= max(1, spec.pipeline):
+                        await collect_one()
+                    inflight[req["id"]] = (req, time.monotonic())
+                    await client.send(req)
+                    report.sent += 1
+                while inflight:
                     await collect_one()
-                inflight[req["id"]] = (req, time.monotonic())
-                await client.send(req)
-                report.sent += 1
-            while inflight:
-                await collect_one()
+            except asyncio.TimeoutError:
+                # In-flight responses stopped arriving: the lost frames
+                # are casualties, not wrong answers.  The connection's
+                # ordering guarantees are gone, so give it up.
+                report.stalls += 1
+                break
+            except (ConnectionError, OSError, ValueError):
+                # The server (or a chaos proxy) dropped us mid-run;
+                # everything still in flight is lost, not wrong.
+                report.disconnects += 1
+                break
             lap += 1
             if deadline is None or time.monotonic() >= deadline:
                 break
@@ -221,8 +262,10 @@ def _score(
         report.shed += 1
     elif kind == "deadline":
         report.deadline_misses += 1
-    elif kind in ("bad-request", "too-large"):
+    elif kind in ("bad-request", "too-large", "line-too-long"):
         report.bad_requests += 1
+    elif kind == "draining":
+        report.draining += 1
     else:
         report.errors += 1
 

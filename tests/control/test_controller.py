@@ -211,6 +211,119 @@ class TestChaosAcceptance:
         assert tuner.thresholds().process_cutover == 1 << 16
 
 
+class TestRecoveryAcceptance:
+    def _transient_chain(self, clock, registry=None, seed=11):
+        from repro.backends.serial import SerialBackend
+        from repro.resilience import RecoveryPolicy
+
+        injector = FaultInjector(seed=seed, error_rate=1.0,
+                                 faulty_attempts=None)
+        doomed = FaultyBackend(SerialBackend(), injector)
+        doomed.name = "processes"
+        chain = DegradingBackend(
+            [doomed, "serial"], policy=_FAST, failure_threshold=1,
+            recovery=RecoveryPolicy(cooldown_s=5.0, jitter=0.0), clock=clock,
+        )
+        if registry is not None:
+            chain.telemetry.metrics = registry
+        return chain, injector
+
+    def test_recovery_restores_the_displaced_cutover(
+        self, registry, tuner, monkeypatch
+    ):
+        """Full loop: the processes level dies (Rule 1 seeds NEVER,
+        saving the prior cutover), the breaker re-probe proves it
+        healthy again, and Rule 0 puts the saved cutover back — with a
+        fake clock, observed via decision.recoveries and the
+        control.recoveries counter in the metrics window."""
+        from tests.resilience.test_breaker import FakeClock
+
+        monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+        tuner.seed(serial_cutover=2048, process_cutover=1 << 16)
+        clock = FakeClock()
+        chain, injector = self._transient_chain(clock, registry)
+
+        with Controller(SLO(), registry, autotuner=tuner) as ctl:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradationWarning)
+                chain.run_tasks([lambda: 1])  # processes dies
+            fall = ctl.step()
+            assert fall.retuned
+            assert tuner.thresholds().process_cutover == NEVER
+            assert tuner.choose_backend("threads", 1 << 20) == "threads"
+
+            # outage ends; the breaker's cooldown elapses (fake clock,
+            # no sleeping); the background reprobe promotes the level
+            injector.disarm()
+            clock.advance(5.0)
+            before = registry.snapshot()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradationWarning)
+                assert chain.reprobe() == ["processes"]
+            decision = ctl.step()
+        chain.close()
+
+        # the decision saw the recovery and restored the saved cutover
+        assert [rec.backend for rec in decision.recoveries] == ["processes"]
+        assert decision.recoveries[0].outage_s == pytest.approx(5.0)
+        seeds = [a for a in decision.actions if a.kind == "seed"]
+        assert seeds and seeds[0].details == {"process_cutover": 1 << 16}
+        assert "recovered" in seeds[0].reason
+        assert "recovered" in decision.describe()
+
+        # ... visible through the metrics window alone
+        delta = registry.delta(before)
+        assert delta["control.recoveries"] == 1
+        assert delta["resilience.recoveries"] == 1
+        assert delta["control.retunes"] >= 1
+
+        # and the tuner promotes threads->processes again
+        assert tuner.thresholds().process_cutover == 1 << 16
+        assert tuner.choose_backend("threads", 1 << 20) == "processes"
+
+    def test_recovery_without_saved_cutover_recalibrates(
+        self, registry, tuner
+    ):
+        """Controller started mid-outage: it never saw the fall, so on
+        recovery it re-measures instead of restoring a guess."""
+        from tests.resilience.test_breaker import FakeClock
+
+        clock = FakeClock()
+        chain, injector = self._transient_chain(clock, seed=5)
+        # the fall happens before the controller exists
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            chain.run_tasks([lambda: 1])
+        tuner.seed(process_cutover=NEVER)  # ops had pinned it by hand
+
+        with Controller(SLO(), registry, autotuner=tuner) as ctl:
+            injector.disarm()
+            clock.advance(5.0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradationWarning)
+                assert chain.reprobe() == ["processes"]
+            decision = ctl.step()
+        chain.close()
+
+        assert [a.kind for a in decision.actions] == ["recalibrate"]
+        assert tuner.calibrations == 1
+        assert tuner.thresholds().process_cutover != NEVER
+
+    def test_recovery_leaves_a_healthy_cutover_alone(self, registry, tuner):
+        """A recovery event when process_cutover is not NEVER (e.g. an
+        operator already restored it) must not churn the tuner."""
+        from repro.resilience.degrade import RecoveryEvent, _emit_recovery
+
+        tuner.seed(process_cutover=1 << 16)
+        with Controller(SLO(), registry, autotuner=tuner) as ctl:
+            _emit_recovery(RecoveryEvent(
+                backend="processes", outage_s=1.0, opens=1))
+            decision = ctl.step()
+        assert len(decision.recoveries) == 1
+        assert decision.actions == ()
+        assert tuner.thresholds().process_cutover == 1 << 16
+
+
 class TestWatch:
     def test_watch_drives_cycles_and_traces(self, registry, tuner):
         tuner.seed()

@@ -211,3 +211,36 @@ class TestPolicyFunctions:
 
         env = tuning_env({"REPRO_B": "2", "PATH": "/bin", "REPRO_A": "1"})
         assert env == (("REPRO_A", "1"), ("REPRO_B", "2"))
+
+
+def test_garbage_bytes_cache_is_a_counted_miss(tmp_path):
+    """A corrupted cache (raw garbage bytes, not even UTF-8 JSON) must
+    load as a miss, bump ``corrupt_loads``, and — when a registry is
+    bound — the ``autotune.cache_corrupt`` counter.  Never a crash."""
+    from repro.obs import MetricsRegistry
+
+    path = tmp_path / "tune.json"
+    path.write_bytes(b"\x00\xff\xfegarbage{{{")
+    tuner = Autotuner(cache_path=path)
+    registry = MetricsRegistry()
+    tuner.metrics = registry
+
+    assert tuner._load() is None
+    assert tuner.corrupt_loads == 1
+    assert tuner.cache_state() == "corrupt"
+    assert registry.snapshot()["autotune.cache_corrupt"] == 1
+
+    # seeding writes through the atomic path and repairs the file
+    tuner.seed(serial_cutover=1234)
+    tuner._store(tuner.thresholds())
+    again = Autotuner(cache_path=path)
+    assert again.cache_state() == "fresh"
+    assert again.thresholds().serial_cutover == 1234
+
+
+def test_corrupt_counter_without_registry_is_safe(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text("{truncated")
+    tuner = Autotuner(cache_path=path)  # no metrics bound
+    assert tuner._load() is None
+    assert tuner.corrupt_loads == 1

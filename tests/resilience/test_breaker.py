@@ -1,0 +1,276 @@
+"""Circuit breaker: state machine, seeded cooldowns, and recovery.
+
+Includes this PR's acceptance scenario: a seeded transient failure
+kills the ``processes`` level (degrading to ``threads``), the fault
+clears, and within the breaker's cooldown the chain *re-promotes* —
+observed end to end through a :class:`RecoveryEvent` and the
+``resilience.recoveries`` counter in ``registry.delta``, with an
+injected clock instead of wall-time sleeps.
+"""
+
+import warnings
+
+import pytest
+
+from repro.backends.serial import SerialBackend
+from repro.errors import InputError
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    DegradationWarning,
+    DegradingBackend,
+    FaultInjector,
+    FaultyBackend,
+    RecoveryPolicy,
+    RetryPolicy,
+    subscribe_recovery,
+)
+
+_FAST = RetryPolicy(max_retries=1, backoff_base_s=0.001, backoff_cap_s=0.01,
+                    speculate=False)
+
+
+class FakeClock:
+    """Injectable monotonic time for deterministic cooldown tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestRecoveryPolicy:
+    def test_validation(self):
+        with pytest.raises(InputError):
+            RecoveryPolicy(cooldown_s=0.0)
+        with pytest.raises(InputError):
+            RecoveryPolicy(multiplier=0.5)
+        with pytest.raises(InputError):
+            RecoveryPolicy(cooldown_cap_s=1.0, cooldown_s=2.0)
+        with pytest.raises(InputError):
+            RecoveryPolicy(jitter=-0.1)
+
+    def test_cooldown_grows_exponentially_and_caps(self):
+        policy = RecoveryPolicy(cooldown_s=1.0, multiplier=2.0,
+                                cooldown_cap_s=8.0, jitter=0.0)
+        assert policy.cooldown_for("x", 1) == 1.0
+        assert policy.cooldown_for("x", 2) == 2.0
+        assert policy.cooldown_for("x", 4) == 8.0
+        assert policy.cooldown_for("x", 10) == 8.0  # capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RecoveryPolicy(cooldown_s=1.0, jitter=0.25, seed=42)
+        first = policy.cooldown_for("threads", 1)
+        assert first == policy.cooldown_for("threads", 1)  # reproducible
+        assert 1.0 <= first <= 1.25
+        # different names draw from different streams
+        assert first != policy.cooldown_for("processes", 1)
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("lvl", failure_threshold=3,
+                                 policy=RecoveryPolicy(), clock=clock)
+        assert breaker.state == CLOSED and breaker.allows()
+        assert not breaker.record_failure("one")
+        assert not breaker.record_failure("two")
+        assert breaker.strikes == 2
+        assert breaker.record_failure("three")  # this strike opens
+        assert breaker.state == OPEN and not breaker.allows()
+        assert breaker.last_reason == "three"
+
+    def test_probe_gated_by_cooldown(self):
+        clock = FakeClock()
+        policy = RecoveryPolicy(cooldown_s=5.0, jitter=0.0)
+        breaker = CircuitBreaker("lvl", policy=policy, clock=clock)
+        breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        assert not breaker.try_probe()  # cooldown not yet expired
+        assert breaker.cooldown_remaining() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert breaker.cooldown_remaining() == 0.0
+        assert breaker.try_probe()
+        assert breaker.state == HALF_OPEN
+        # exactly one caller wins the probe slot
+        assert not breaker.try_probe()
+
+    def test_probe_success_closes_and_reports_outage(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "lvl", policy=RecoveryPolicy(cooldown_s=2.0, jitter=0.0),
+            clock=clock)
+        breaker.record_failure("boom")
+        clock.advance(3.0)
+        assert breaker.try_probe()
+        outage = breaker.record_probe_success()
+        assert outage == pytest.approx(3.0)
+        assert breaker.state == CLOSED and breaker.opens == 0
+
+    def test_probe_failure_grows_the_cooldown_ladder(self):
+        clock = FakeClock()
+        policy = RecoveryPolicy(cooldown_s=1.0, multiplier=2.0,
+                                cooldown_cap_s=100.0, jitter=0.0)
+        breaker = CircuitBreaker("lvl", policy=policy, clock=clock)
+        breaker.record_failure("boom")
+        clock.advance(1.0)
+        assert breaker.try_probe()
+        breaker.record_probe_failure("still dead")
+        assert breaker.state == OPEN and breaker.opens == 2
+        # second cooldown is 2x the first
+        assert breaker.cooldown_remaining() == pytest.approx(2.0)
+
+    def test_half_open_batch_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "lvl", policy=RecoveryPolicy(cooldown_s=1.0, jitter=0.0),
+            clock=clock)
+        breaker.record_failure("boom")
+        clock.advance(1.0)
+        assert breaker.try_probe()
+        assert breaker.record_failure("mid-probe batch death")
+        assert breaker.state == OPEN and breaker.opens == 2
+
+    def test_no_policy_is_a_one_way_ratchet(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("lvl", clock=clock)  # policy=None
+        breaker.record_failure("boom")
+        assert breaker.state == OPEN
+        clock.advance(1e9)
+        assert not breaker.try_probe()  # never half-opens
+        assert breaker.cooldown_remaining() == float("inf")
+
+    def test_describe_mentions_state(self):
+        breaker = CircuitBreaker("threads")
+        assert "closed" in breaker.describe()
+        breaker.record_failure("x")
+        assert "open" in breaker.describe()
+
+
+def _transient_processes(seed: int = 11):
+    """A level named 'processes' whose faults can be switched off."""
+    injector = FaultInjector(seed=seed, error_rate=1.0, faulty_attempts=None)
+    doomed = FaultyBackend(SerialBackend(), injector)
+    doomed.name = "processes"  # impersonate the processes level
+    return doomed, injector
+
+
+class TestEndToEndRecovery:
+    def test_transient_death_recovers_within_cooldown(self):
+        """The acceptance scenario: processes dies -> threads serves ->
+        breaker re-probes after its cooldown -> processes re-promotes,
+        all observed via RecoveryEvent + registry.delta."""
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        doomed, injector = _transient_processes()
+        chain = DegradingBackend(
+            [doomed, "threads"], policy=_FAST, failure_threshold=1,
+            recovery=RecoveryPolicy(cooldown_s=5.0, jitter=0.0),
+            clock=clock, max_workers=2,
+        )
+        chain.telemetry.metrics = registry
+        recoveries = []
+        unsubscribe = subscribe_recovery(recoveries.append)
+        try:
+            before = registry.snapshot()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradationWarning)
+                # Batch 1: processes dies, threads answers.
+                results = chain.run_tasks([lambda: 42])
+                assert [r.value for r in results] == [42]
+                assert chain.active_backend == "threads"
+                assert chain.breaker_states()["processes"] == "open"
+
+                # The fault clears, but the cooldown hasn't expired:
+                # dispatches stay on threads (no premature re-probe).
+                injector.disarm()
+                chain.run_tasks([lambda: 1])
+                assert chain.active_backend == "threads"
+                assert recoveries == []
+
+                # Clock crosses the cooldown: the next dispatch probes,
+                # the probe passes, and the batch runs on processes.
+                clock.advance(5.0)
+                results = chain.run_tasks([lambda: 43])
+                assert [r.value for r in results] == [43]
+            assert chain.active_backend == "processes"
+            assert chain.breaker_states()["processes"] == "closed"
+
+            # Observed end to end: the structured event...
+            assert len(recoveries) == 1
+            event = recoveries[0]
+            assert event.backend == "processes"
+            assert event.opens == 1
+            assert event.outage_s == pytest.approx(5.0)
+            # ... and the registry window (not a sleep-and-hope).
+            delta = registry.delta(before)
+            assert delta["resilience.recoveries"] == 1
+        finally:
+            unsubscribe()
+            chain.close()
+
+    def test_failed_reprobe_reopens_with_longer_cooldown(self):
+        clock = FakeClock()
+        doomed, injector = _transient_processes(seed=5)
+        chain = DegradingBackend(
+            [doomed, "serial"], policy=_FAST, failure_threshold=1,
+            recovery=RecoveryPolicy(cooldown_s=2.0, multiplier=2.0,
+                                    jitter=0.0),
+            clock=clock,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            chain.run_tasks([lambda: 1])  # opens the breaker
+            clock.advance(2.0)
+            chain.run_tasks([lambda: 2])  # re-probe fails (still faulty)
+        states = chain.breaker_states()
+        assert states["processes"] == "open"
+        # the ladder grew: next probe waits 2x as long
+        breaker = chain._breakers[0]
+        assert breaker.opens == 2
+        assert breaker.cooldown_remaining() == pytest.approx(4.0)
+        chain.close()
+
+    def test_explicit_reprobe_recovers_an_idle_chain(self):
+        """reprobe() promotes without any traffic — the serve front
+        door's background loop depends on this."""
+        clock = FakeClock()
+        doomed, injector = _transient_processes(seed=3)
+        chain = DegradingBackend(
+            [doomed, "serial"], policy=_FAST, failure_threshold=1,
+            recovery=RecoveryPolicy(cooldown_s=1.0, jitter=0.0),
+            clock=clock,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            chain.run_tasks([lambda: 1])
+            assert chain.active_backend == "serial"
+            injector.disarm()
+            assert chain.reprobe() == []  # cooldown not expired
+            clock.advance(1.0)
+            assert chain.reprobe() == ["processes"]
+        assert chain.active_backend == "processes"
+        chain.close()
+
+    def test_default_recovery_none_stays_degraded(self):
+        """recovery=None preserves the pre-breaker one-way ratchet."""
+        clock = FakeClock()
+        doomed, injector = _transient_processes(seed=7)
+        chain = DegradingBackend([doomed, "serial"], policy=_FAST,
+                                 failure_threshold=1, clock=clock)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            chain.run_tasks([lambda: 1])
+            injector.disarm()
+            clock.advance(1e9)
+            assert chain.reprobe() == []
+            chain.run_tasks([lambda: 2])
+        assert chain.active_backend == "serial"
+        chain.close()

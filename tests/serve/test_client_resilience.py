@@ -1,0 +1,246 @@
+"""The resilient clients: retries, reconnects, deadlines, hedging.
+
+Scripted fake servers (a few dozen lines of raw socket/asyncio) stand
+in for the bad network: they reset connections, answer with strays,
+shed, or hang — each behavior deterministic, so every retry path is
+exercised on purpose rather than by luck.  The live-wire versions of
+these scenarios (seeded chaos through a real server) live in
+``test_netchaos.py``; this file pins the client *mechanisms*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AsyncResilientClient,
+    ClientRetryPolicy,
+    ResilientClient,
+    ServeConfig,
+    ServerThread,
+)
+
+_FAST = ClientRetryPolicy(max_attempts=3, backoff_base_s=0.005,
+                          backoff_cap_s=0.02, jitter=0.25, seed=0)
+
+
+class TestClientRetryPolicy:
+    def test_backoff_is_seeded_and_exponential(self):
+        policy = ClientRetryPolicy(backoff_base_s=0.1, backoff_cap_s=10.0,
+                                   jitter=0.5, seed=7)
+        d0 = policy.backoff_for("req-1", 0)
+        assert d0 == policy.backoff_for("req-1", 0)  # replayable
+        assert 0.1 <= d0 <= 0.15  # base * (1 + [0, jitter])
+        d3 = policy.backoff_for("req-1", 3)
+        assert 0.8 <= d3 <= 1.2  # base * 2^3, jittered
+        # distinct keys draw distinct jitter
+        assert d0 != policy.backoff_for("req-2", 0)
+
+    def test_backoff_caps(self):
+        policy = ClientRetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.4,
+                                   jitter=0.0)
+        assert policy.backoff_for("k", 10) == 0.4
+
+    def test_should_retry_response(self):
+        policy = ClientRetryPolicy()
+        assert not policy.should_retry_response({"ok": True})
+        assert policy.should_retry_response(
+            {"ok": False, "error": {"kind": "shed"}})
+        assert policy.should_retry_response(
+            {"ok": False, "error": {"kind": "draining"}})
+        assert not policy.should_retry_response(
+            {"ok": False, "error": {"kind": "bad-request"}})
+
+
+class _ScriptedServer(threading.Thread):
+    """A raw TCP line server whose Nth connection runs ``script[N]``.
+
+    Behaviors (strings): ``"reset"`` — read a line, then RST the
+    socket; ``"stray-then-answer"`` — reply with an unmatched id first;
+    ``"answer"`` — echo ``{"ok": true, "id": ...}`` per line (recording
+    each decoded request in ``self.seen``).  The last behavior repeats
+    for any further connections.
+    """
+
+    def __init__(self, script: list[str]) -> None:
+        super().__init__(daemon=True)
+        self.script = script
+        self.seen: list[dict] = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(0.2)
+        self.port = self._sock.getsockname()[1]
+        self._halt = threading.Event()
+        self._index = 0
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except TimeoutError:
+                continue
+            behavior = self.script[min(self._index, len(self.script) - 1)]
+            self._index += 1
+            try:
+                self._serve(conn, behavior)
+            except OSError:
+                pass
+        self._sock.close()
+
+    def _serve(self, conn: socket.socket, behavior: str) -> None:
+        fh = conn.makefile("rb")
+        try:
+            if behavior == "reset":
+                fh.readline()
+                # SO_LINGER(on, 0) turns close() into an RST
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                return
+            while True:
+                line = fh.readline()
+                if not line:
+                    return
+                request = json.loads(line)
+                self.seen.append(request)
+                if behavior == "stray-then-answer":
+                    conn.sendall(json.dumps(
+                        {"id": None, "ok": False,
+                         "error": {"kind": "bad-request", "code": 400}}
+                    ).encode() + b"\n")
+                    behavior = "answer"
+                conn.sendall(json.dumps(
+                    {"id": request.get("id"), "ok": True, "result": []}
+                ).encode() + b"\n")
+        finally:
+            fh.close()
+            conn.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+    def __enter__(self) -> "_ScriptedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class TestResilientClient:
+    def test_reconnects_through_resets(self):
+        with _ScriptedServer(["reset", "reset", "answer"]) as srv:
+            with ResilientClient("127.0.0.1", srv.port, policy=_FAST,
+                                 timeout=5.0) as client:
+                response = client.request({"id": "r1", "op": "ping"})
+            assert response["ok"] and response["id"] == "r1"
+            assert client.reconnects == 2
+            assert client.retries == 2
+
+    def test_exhausted_transport_attempts_raise_typed_error(self):
+        with _ScriptedServer(["reset"]) as srv:  # resets forever
+            with ResilientClient("127.0.0.1", srv.port, policy=_FAST,
+                                 timeout=5.0) as client:
+                with pytest.raises(ConnectionError, match="3 attempt"):
+                    client.request({"id": "doomed", "op": "ping"})
+
+    def test_stray_responses_are_skipped_not_fatal(self):
+        with _ScriptedServer(["stray-then-answer"]) as srv:
+            with ResilientClient("127.0.0.1", srv.port, policy=_FAST,
+                                 timeout=5.0) as client:
+                response = client.request({"id": "mine", "op": "ping"})
+            assert response["id"] == "mine"
+            assert client.retries == 0  # no retry was needed
+
+    def test_deadline_rides_each_attempt_as_deadline_ms(self):
+        with _ScriptedServer(["answer"]) as srv:
+            with ResilientClient("127.0.0.1", srv.port, policy=_FAST,
+                                 timeout=5.0) as client:
+                client.request({"id": "d", "op": "ping"}, deadline_s=0.8)
+            assert len(srv.seen) == 1
+            budget_ms = srv.seen[0]["deadline_ms"]
+            assert 0 < budget_ms <= 800.0
+
+    def test_draining_server_yields_typed_response_not_hang(self):
+        """Against a real drained server: the client retries its
+        bounded ladder over the surviving connection and hands back the
+        typed 503 — never an exception, never a wedge."""
+        with ServerThread(ServeConfig(capacity=16, window_s=0.001)) as handle:
+            with ResilientClient(handle.host, handle.port, policy=_FAST,
+                                 timeout=5.0) as client:
+                # connect before the drain: afterwards the listener is
+                # closed and only surviving connections can talk
+                assert client.request({"id": "w", "op": "ping"})["ok"]
+                assert handle.drain()
+                t0 = time.monotonic()
+                response = client.request({"id": "x", "op": "merge",
+                                           "a": [1], "b": [2]})
+                elapsed = time.monotonic() - t0
+            assert not response["ok"]
+            assert response["error"]["kind"] == "draining"
+            assert client.retries == _FAST.max_attempts
+            assert elapsed < 5.0
+
+
+class TestAsyncResilientClient:
+    def test_retries_and_succeeds(self):
+        async def main(port):
+            client = AsyncResilientClient("127.0.0.1", port, policy=_FAST,
+                                          timeout=5.0)
+            response = await client.request({"id": "a1", "op": "ping"})
+            return client, response
+
+        with _ScriptedServer(["reset", "answer"]) as srv:
+            client, response = asyncio.run(
+                asyncio.wait_for(main(srv.port), 30.0))
+        assert response["ok"] and response["id"] == "a1"
+        assert client.reconnects == 1
+
+    def test_hedged_request_races_a_slow_primary(self):
+        """Connection 0 hangs forever; the hedge (connection 1) answers.
+        First decoded response wins — idempotence makes the race safe."""
+
+        async def main():
+            connections = 0
+            seen_hang = asyncio.Event()
+
+            async def handler(reader, writer):
+                nonlocal connections
+                index = connections
+                connections += 1
+                line = await reader.readline()
+                if index == 0:
+                    seen_hang.set()
+                    await asyncio.sleep(3600)  # slowloris primary
+                    return
+                request = json.loads(line)
+                writer.write(json.dumps(
+                    {"id": request.get("id"), "ok": True, "result": []}
+                ).encode() + b"\n")
+                await writer.drain()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            policy = ClientRetryPolicy(max_attempts=2, backoff_base_s=0.005,
+                                       hedge_after_s=0.05)
+            client = AsyncResilientClient("127.0.0.1", port, policy=policy,
+                                          timeout=10.0)
+            try:
+                response = await asyncio.wait_for(
+                    client.request({"id": "h1", "op": "ping"}), 10.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+            assert seen_hang.is_set()
+            return client, response
+
+        client, response = asyncio.run(main())
+        assert response["ok"] and response["id"] == "h1"
+        assert client.hedges == 1
+        assert client.retries == 0  # the hedge won within the attempt

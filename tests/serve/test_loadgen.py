@@ -87,7 +87,16 @@ class TestLoadReport:
         assert summary["incorrect"] == 0
 
     def test_summary_empty_latencies(self):
-        assert LoadReport().summary()["latency_ms"]["p99"] == 0.0
+        # An empty window has no percentiles: None, never a fake 0.0
+        # (and never an IndexError).
+        summary = LoadReport().summary()
+        assert summary["latency_ms"]["p50"] is None
+        assert summary["latency_ms"]["p99"] is None
+
+    def test_summary_single_latency(self):
+        summary = LoadReport(latencies_ms=[5.0]).summary()
+        assert summary["latency_ms"]["p50"] == 5.0
+        assert summary["latency_ms"]["p99"] == 5.0
 
 
 class TestAgainstLiveServer:

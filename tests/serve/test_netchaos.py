@@ -1,0 +1,211 @@
+"""Network chaos through the live server: the wire lies, clients don't.
+
+:mod:`repro.resilience.netchaos` sits a seeded fault-injecting TCP
+proxy between the clients and a real :class:`ServerThread`.  The gate
+everywhere: **every response that arrives is bit-identical to the
+serial oracle, every failure is typed (a structured error or a
+transport exception), and nothing hangs** — each attempt is bounded by
+an explicit socket timeout, so the worst chaos outcome is a
+:class:`ConnectionError`, never a wedged test.
+
+Each scenario also asserts ``proxy.stats`` recorded the faults it was
+configured to fire — a chaos test that passes because the chaos never
+happened is vacuous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import InputError
+from repro.resilience import ChaosProxyThread, ChaosSpec
+from repro.serve import (
+    AsyncResilientClient,
+    ClientRetryPolicy,
+    ResilientClient,
+    ServeConfig,
+    ServerThread,
+)
+from repro.workloads.loadgen import LoadSpec, build_requests, oracle
+
+#: Bounded attempts: short socket timeouts so chaos cannot wedge a test.
+_POLICY = ClientRetryPolicy(max_attempts=6, backoff_base_s=0.01,
+                            backoff_cap_s=0.05, jitter=0.25, seed=0)
+
+_CONFIG = ServeConfig(capacity=128, max_batch=16, window_s=0.001, p=2)
+
+#: Typed error kinds a chaotic network may legitimately produce.
+_TYPED_KINDS = {"bad-request", "line-too-long", "shed", "deadline"}
+
+
+def _requests(n: int, seed: int) -> list[dict]:
+    spec = LoadSpec(requests_per_client=n, seed=seed, small_max=64,
+                    large_every=0, topk_every=5)
+    return build_requests(spec, 0)
+
+
+def _drive_sync(proxy_host, proxy_port, requests, *, timeout=2.0):
+    """Run the request list through a ResilientClient; classify outcomes.
+
+    Returns ``(correct, typed, transport_failures)`` and asserts the
+    invariant inline: an ``ok`` response must equal the oracle.
+    """
+    correct = typed = transport = 0
+    with ResilientClient(proxy_host, proxy_port, policy=_POLICY,
+                         timeout=timeout) as client:
+        for req in requests:
+            try:
+                response = client.request(req)
+            except ConnectionError:
+                transport += 1
+                continue
+            if response.get("ok"):
+                assert response["result"] == oracle(req), req["id"]
+                correct += 1
+            else:
+                kind = (response.get("error") or {}).get("kind")
+                assert kind in _TYPED_KINDS, response
+                typed += 1
+    return correct, typed, transport
+
+
+class TestChaosSpec:
+    def test_rates_validated(self):
+        with pytest.raises(InputError):
+            ChaosSpec(reset_rate=1.5)
+        with pytest.raises(InputError):
+            ChaosSpec(corrupt_rate=-0.1)
+        with pytest.raises(InputError):
+            ChaosSpec(delay_s=-1.0)
+        with pytest.raises(InputError):
+            ChaosSpec(slowloris_chunk=0)
+
+    def test_quiet_spec_is_valid(self):
+        spec = ChaosSpec()
+        assert spec.reset_rate == 0.0
+
+
+class TestQuietProxy:
+    def test_passthrough_preserves_every_byte(self):
+        """With all rates at zero the proxy must be invisible."""
+        requests = _requests(20, seed=31)
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port) as proxy:
+            correct, typed, transport = _drive_sync(
+                proxy.host, proxy.port, requests)
+            stats = dict(proxy.stats)
+        assert correct == len(requests)
+        assert typed == transport == 0
+        assert all(count == 0 for count in stats.values())
+
+
+class TestUpstreamCorruption:
+    def test_corrupted_requests_become_typed_400s_never_wrong_results(self):
+        """NUL-corrupted request frames must surface as typed errors or
+        transport retries — an ``ok`` response is always oracle-exact."""
+        requests = _requests(30, seed=7)
+        spec = ChaosSpec(seed=101, corrupt_rate=0.12)
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port, spec=spec) as proxy:
+            correct, typed, transport = _drive_sync(
+                proxy.host, proxy.port, requests, timeout=1.0)
+            stats = dict(proxy.stats)
+        assert stats["corruptions"] > 0  # the chaos actually fired
+        # Most requests get through (retries ride fresh frames)...
+        assert correct >= len(requests) * 0.5
+        # ...and nothing was silently wrong: outcomes partition cleanly.
+        assert correct + typed + transport == len(requests)
+
+
+class TestResets:
+    def test_connection_resets_are_survived_by_reconnecting(self):
+        requests = _requests(30, seed=13)
+        spec = ChaosSpec(seed=7, reset_rate=0.06)
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port, spec=spec) as proxy:
+            client = ResilientClient(proxy.host, proxy.port,
+                                     policy=_POLICY, timeout=2.0)
+            correct = transport = 0
+            with client:
+                for req in requests:
+                    try:
+                        response = client.request(req)
+                    except ConnectionError:
+                        transport += 1
+                        continue
+                    assert response.get("ok"), response
+                    assert response["result"] == oracle(req)
+                    correct += 1
+            stats = dict(proxy.stats)
+        assert stats["resets"] > 0
+        assert client.reconnects > 0  # the resilience path actually ran
+        assert correct >= len(requests) * 0.7
+        assert correct + transport == len(requests)
+
+
+class TestSlowNetwork:
+    def test_delays_and_slowloris_only_cost_time(self):
+        """Latency faults reorder nothing and corrupt nothing: every
+        request completes correctly, just slower."""
+        requests = _requests(15, seed=23)
+        spec = ChaosSpec(seed=3, delay_rate=0.3, delay_s=0.01,
+                         slowloris_rate=0.3, slowloris_chunk=16,
+                         slowloris_delay_s=0.001)
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port, spec=spec) as proxy:
+            correct, typed, transport = _drive_sync(
+                proxy.host, proxy.port, requests, timeout=5.0)
+            stats = dict(proxy.stats)
+        assert stats["delays"] + stats["slowloris"] > 0
+        assert correct == len(requests)
+        assert typed == transport == 0
+
+
+class TestTruncation:
+    def test_truncated_frames_never_parse_into_wrong_answers(self):
+        requests = _requests(25, seed=17)
+        spec = ChaosSpec(seed=29, truncate_rate=0.08)
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port, spec=spec) as proxy:
+            correct, typed, transport = _drive_sync(
+                proxy.host, proxy.port, requests, timeout=2.0)
+            stats = dict(proxy.stats)
+        assert stats["truncations"] > 0
+        assert correct + typed + transport == len(requests)
+        assert correct >= len(requests) * 0.5
+
+
+class TestAsyncClientUnderChaos:
+    def test_async_resilient_client_survives_the_same_wire(self):
+        requests = _requests(20, seed=41)
+        spec = ChaosSpec(seed=11, reset_rate=0.05, corrupt_rate=0.05)
+
+        async def drive(host, port):
+            client = AsyncResilientClient(host, port, policy=_POLICY,
+                                          timeout=2.0)
+            correct = typed = transport = 0
+            for req in requests:
+                try:
+                    response = await client.request(req)
+                except (ConnectionError, asyncio.TimeoutError):
+                    transport += 1
+                    continue
+                if response.get("ok"):
+                    assert response["result"] == oracle(req)
+                    correct += 1
+                else:
+                    kind = (response.get("error") or {}).get("kind")
+                    assert kind in _TYPED_KINDS, response
+                    typed += 1
+            return correct, typed, transport
+
+        with ServerThread(_CONFIG) as srv, \
+                ChaosProxyThread(srv.host, srv.port, spec=spec) as proxy:
+            correct, typed, transport = asyncio.run(
+                drive(proxy.host, proxy.port))
+            stats = dict(proxy.stats)
+        assert stats["resets"] + stats["corruptions"] > 0
+        assert correct + typed + transport == len(requests)
+        assert correct >= len(requests) * 0.5

@@ -336,3 +336,67 @@ class TestConcurrency:
         for t in threads:
             t.join()
         assert not errors
+
+
+class TestOversizeLines:
+    """A request line past ``max_line_bytes``: typed 413, counted,
+    and the connection (plus everything pipelined behind it) survives."""
+
+    @staticmethod
+    def _read_all(payload: bytes, max_bytes: int):
+        import asyncio
+
+        from repro.serve.server import _LineReader
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            lines = _LineReader(reader, max_bytes)
+            out = []
+            while True:
+                line, oversized = await lines.readline()
+                if line is None:
+                    return out
+                out.append((line, oversized))
+
+        return asyncio.run(go())
+
+    def test_line_reader_passes_small_lines(self):
+        out = self._read_all(b"abc\ndef\n", 16)
+        assert out == [(b"abc\n", False), (b"def\n", False)]
+
+    def test_line_reader_flags_oversize_and_recovers(self):
+        big = b"x" * 100
+        out = self._read_all(b"ok1\n" + big + b"\nok2\n", 16)
+        assert out == [(b"ok1\n", False), (b"", True), (b"ok2\n", False)]
+
+    def test_line_reader_oversize_at_eof_without_newline(self):
+        out = self._read_all(b"y" * 100, 16)
+        assert out == [(b"", True)]
+
+    def test_line_reader_final_unterminated_line_delivered(self):
+        out = self._read_all(b"tail", 16)
+        assert out == [(b"tail", False)]
+
+    def test_oversize_line_gets_typed_413_and_connection_survives(self):
+        with ServerThread(ServeConfig(
+            capacity=8, max_line_bytes=4096, window_s=0.001,
+        )) as handle:
+            with ServeClient(handle.host, handle.port, timeout=10.0) as client:
+                # a single frame far past the cap, then a good request
+                # pipelined right behind it on the same connection
+                client._sock.sendall(
+                    b'{"id": "huge", "op": "sort", "data": ['
+                    + b"1," * 5000 + b"1]}\n")
+                client.send({"id": "after", "op": "merge",
+                             "a": [1], "b": [2]})
+                first = client.recv()
+                second = client.recv()
+            snapshot = handle.registry.snapshot()
+        assert first["ok"] is False
+        assert first["error"]["kind"] == "line-too-long"
+        assert first["error"]["code"] == 413
+        # the bad frame cost one request, not the connection
+        assert second["ok"] is True and second["result"] == [1, 2]
+        assert snapshot["serve.oversize_lines"] == 1

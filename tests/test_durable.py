@@ -1,0 +1,54 @@
+"""Atomic publish + corruption-tolerant load (`repro.durable`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.durable import atomic_write_json, atomic_write_text, load_json
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"a": 1})
+        payload, state = load_json(path)
+        assert state == "ok" and payload == {"a": 1}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "state.json"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_replace_leaves_no_tmp_litter(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_failed_write_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "state.json"
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"v": os})  # unserializable
+        payload, state = load_json(path)
+        assert state == "ok" and payload == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+
+class TestLoadJson:
+    def test_absent(self, tmp_path):
+        assert load_json(tmp_path / "missing.json") == (None, "absent")
+
+    def test_corrupt_garbage_bytes(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_bytes(b"\x00\xff not json")
+        assert load_json(path) == (None, "corrupt")
+
+    def test_corrupt_truncated_write(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"a": [1, 2')  # a non-atomic writer died here
+        assert load_json(path) == (None, "corrupt")
