@@ -15,6 +15,12 @@ CI uses ``--warn-regress 0.25 --max-regress 1.0`` to annotate 25%
 regressions as warnings (``::warning::`` on GitHub Actions) while only
 hard-failing past 2x.  ``--against`` compares two existing snapshots
 without re-running the suite.
+
+Rows cover the batched in-RAM entry points (``parallel_merge``,
+``segmented_parallel_merge``, ``parallel_merge_sort``) plus the
+SPM-planned out-of-core path (``external_sort``, run at a memory budget
+of ``n/8`` so run formation and block merges are both exercised) — so
+the ratchet also catches regressions in the disk-resident pipeline.
 """
 
 from __future__ import annotations

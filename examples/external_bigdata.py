@@ -43,6 +43,25 @@ def main() -> None:
     print("   constants, exactly like SPM is cache-optimal up to the")
     print("   compulsory floor.")
 
+    # --- the parallel path: same answers, SPM-planned batched fan-in ---
+    print("\nparallel=True (merge-path planned block merges, one dispatch")
+    print("per pass; docs/external.md):\n")
+    print(f"{'memory':>10} {'reads':>8} {'writes':>8} {'total':>8} "
+          f"{'x bound':>8}")
+    for mem in (n // 8, n // 32):
+        io = IOCounter(block_elements=block)
+        out = external_sort(data, mem, parallel=True, backend="threads",
+                            workers=4, io=io)
+        assert np.array_equal(out, np.sort(data))
+        bound = aggarwal_vitter_bound(n, mem, block)
+        factor = io.total_blocks / bound if bound else float("nan")
+        print(f"{mem:>10,} {io.read_blocks:>8,} {io.write_blocks:>8,} "
+              f"{io.total_blocks:>8,} {factor:>8.2f}")
+    print("\nthe parallel pipeline pays a few extra planning probes but")
+    print("stays within the same small constant of the bound, and every")
+    print("block merge is idempotent — safe to retry under the")
+    print("resilience layer (Theorem 14's disjointness, on disk).")
+
 
 if __name__ == "__main__":
     main()

@@ -38,6 +38,14 @@ serve
     and per-request deadlines.  Prints ``serving on HOST:PORT`` once
     bound (``--port 0`` picks an ephemeral port) and runs until
     interrupted.  See ``docs/serving.md``.
+extsort
+    Out-of-core demo: generate a dataset ``--n`` elements long, sort it
+    with the SPM-planned parallel external sort under a ``--memory``
+    budget (default 1/16 of ``--n``), verify bit-identity against
+    ``np.sort``, and print the I/O report with measured transfers vs
+    the Aggarwal–Vitter bound.  ``--report out.json`` persists the
+    report; nonzero exit on mismatch or a transfer ratio past
+    ``--max-transfer-ratio``.  See ``docs/external.md``.
 
 Unknown flags are an error (exit status 2 via argparse).  For
 backwards compatibility, bare experiment ids still work — ``python -m
@@ -59,7 +67,7 @@ _LEGACY_FLAGS = ("--quick", "--full", "--chart", "--chaos")
 
 _SUBCOMMANDS = (
     "run", "report", "selftest", "scorecard", "conformance", "api",
-    "trace", "bench", "doctor", "tune", "serve",
+    "trace", "bench", "doctor", "tune", "serve", "extsort",
 )
 
 
@@ -78,7 +86,7 @@ def _fig5_chart(result: ExperimentResult) -> str:
 def _print_listing() -> None:
     print("usage: python -m repro SUBCOMMAND ... "
           "(run | report | selftest | scorecard | conformance | api | "
-          "trace | bench | doctor | tune | serve)\n")
+          "trace | bench | doctor | tune | serve | extsort)\n")
     print("available experiments (python -m repro run EXP_ID ...):")
     for exp_id, (_fn, desc) in EXPERIMENTS.items():
         print(f"  {exp_id:<8} {desc}")
@@ -98,6 +106,8 @@ def _print_listing() -> None:
           "(--watch --cycles N --interval S)")
     print("  serve        NDJSON-over-TCP front door "
           "(--host --port; see docs/serving.md)")
+    print("  extsort      out-of-core SPM-planned parallel external sort "
+          "demo (--n --memory --report out.json; see docs/external.md)")
 
 
 def _normalize(argv: list[str]) -> list[str]:
@@ -255,6 +265,37 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="background circuit-breaker re-probe cadence "
                             "(0 disables; dispatches still re-probe)")
 
+    p_ext = sub.add_parser(
+        "extsort", help="out-of-core SPM-planned parallel external sort")
+    p_ext.add_argument("--n", type=int, default=1 << 20,
+                       help="dataset size in elements (default 2^20)")
+    p_ext.add_argument("--memory", type=int, default=None,
+                       help="RAM budget M in elements (default n // 16)")
+    p_ext.add_argument("--block", type=int, default=None,
+                       help="I/O accounting block B in elements "
+                            "(default M // 8)")
+    p_ext.add_argument("--workers", type=int, default=None,
+                       help="parallel workers (default: cpu count)")
+    p_ext.add_argument("--backend", default="degrade",
+                       help="backend name, or 'degrade' for the resilient "
+                            "processes→threads→serial chain (default)")
+    p_ext.add_argument("--fan-in", type=int, default=None, dest="fan_in",
+                       help="runs merged per pass (default: all at once)")
+    p_ext.add_argument("--kernel", default="auto",
+                       help="block-merge kernel (default: autotuned)")
+    p_ext.add_argument("--seed", type=int, default=7)
+    p_ext.add_argument("--directory", default=None,
+                       help="spill directory (default: a temporary one)")
+    p_ext.add_argument("--report", default=None, metavar="OUT.json",
+                       dest="report_out",
+                       help="write the JSON I/O report here")
+    p_ext.add_argument("--no-verify", action="store_false", dest="verify",
+                       help="skip the bit-identity check against np.sort")
+    p_ext.add_argument("--max-transfer-ratio", type=float, default=None,
+                       dest="max_transfer_ratio",
+                       help="fail (exit 1) if measured transfers exceed "
+                            "this multiple of the Aggarwal-Vitter bound")
+
     return parser
 
 
@@ -374,6 +415,108 @@ def _cmd_tune(ns: argparse.Namespace) -> int:
           f"(steps={int(registry.value('control.steps'))} "
           f"retunes={int(registry.value('control.retunes'))})")
     return 0 if status != "FAIL" else 1
+
+
+def _cmd_extsort(ns: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from .errors import InputError
+    from .external import external_sort_file
+    from .obs.metrics import MetricsRegistry
+
+    n = ns.n
+    if n < 0:
+        print("error: --n must be >= 0", file=sys.stderr)
+        return 2
+    memory = ns.memory if ns.memory is not None else max(1, n // 16)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = ns.directory or tmp
+        if not os.path.isdir(workdir):
+            print(f"error: directory {workdir!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        in_path = os.path.join(workdir, "extsort-input.npy")
+        out_path = os.path.join(workdir, "extsort-sorted.npy")
+        # Generate the dataset straight into a memmap, one memory-budget
+        # chunk at a time — the driver never holds more than M elements.
+        rng = np.random.default_rng(ns.seed)
+        data = np.lib.format.open_memmap(
+            in_path, mode="w+", dtype=np.int64, shape=(n,)
+        )
+        for lo in range(0, n, memory):
+            hi = min(n, lo + memory)
+            data[lo:hi] = rng.integers(
+                np.iinfo(np.int64).min // 2, np.iinfo(np.int64).max // 2,
+                size=hi - lo, dtype=np.int64,
+            )
+        data.flush()
+        del data
+
+        if ns.backend == "degrade":
+            from .resilience import DegradingBackend
+
+            backend = DegradingBackend(
+                ("processes", "threads", "serial"),
+                max_workers=ns.workers,
+            )
+        else:
+            backend = ns.backend
+        registry = MetricsRegistry()
+        try:
+            final, report = external_sort_file(
+                in_path,
+                memory_elements=memory,
+                directory=workdir,
+                out_path=out_path,
+                fan_in=ns.fan_in,
+                block_elements=ns.block,
+                backend=backend,
+                workers=ns.workers,
+                kernel=ns.kernel,
+                metrics=registry,
+            )
+        except InputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            if ns.backend == "degrade":
+                backend.close()
+
+        doc = dict(report.to_dict())
+        doc["budget_multiple"] = round(n / memory, 2) if memory else None
+        status = 0
+        if ns.verify:
+            expected = np.sort(np.load(in_path, mmap_mode="r"), kind="stable")
+            got = np.load(final.path, mmap_mode="r")
+            ok = bool(
+                len(got) == n and np.array_equal(expected, np.asarray(got))
+            )
+            doc["verified"] = ok
+            if not ok:
+                print("FAIL: output does not match np.sort", file=sys.stderr)
+                status = 1
+        if (
+            ns.max_transfer_ratio is not None
+            and report.transfer_ratio is not None
+            and report.transfer_ratio > ns.max_transfer_ratio
+        ):
+            print(
+                f"FAIL: transfer ratio {report.transfer_ratio:.2f} exceeds "
+                f"--max-transfer-ratio {ns.max_transfer_ratio:g}",
+                file=sys.stderr,
+            )
+            status = 1
+        print(json.dumps(doc, indent=2))
+        if ns.report_out:
+            with open(ns.report_out, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "repro-extsort/1", **doc}, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote I/O report to {ns.report_out}")
+        return status
 
 
 def _cmd_serve(ns: argparse.Namespace) -> int:
@@ -501,6 +644,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(ns)
     if ns.command == "serve":
         return _cmd_serve(ns)
+    if ns.command == "extsort":
+        return _cmd_extsort(ns)
     _print_listing()  # pragma: no cover - unreachable via _normalize
     return 0
 

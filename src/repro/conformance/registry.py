@@ -186,6 +186,18 @@ def build_registry(
 
         return blocked_sort(np.asarray(x), spec=small_gpu, collect_stats=False)[0]
 
+    def _extsort(x, p):
+        from ..external import external_sort
+
+        x = np.asarray(x)
+        # A deliberately tiny budget so even quick-tier cases form
+        # several runs and exercise the planner + block-merge fan-in.
+        memory = max(4, min(64, max(1, len(x)) // 4))
+        return external_sort(
+            x, memory, parallel=True, backend=cache.get("serial"),
+            workers=max(1, p),
+        )
+
     impls = [
         # ---- core sequential kernels --------------------------------
         Implementation(
@@ -350,6 +362,13 @@ def build_registry(
             "gpu.blocked_sort", "gpu", "sort",
             lambda x, p: _blocked_sort(x),
             stable=False,
+        ),
+        Implementation(
+            "external.spm_sort", "extension", "sort",
+            _extsort, stable=False, injectable=True,
+            notes="out-of-core SPM-planned external sort, tiny RAM budget "
+                  "so every case spills and fans in through block merges "
+                  "(stable in fact; the probe harness is merge-only)",
         ),
         Implementation(
             "baseline.bitonic_sort", "baseline", "sort",

@@ -17,9 +17,17 @@ transfer) model of Aggarwal & Vitter, the paper's reference [10].
   or more multi-way streaming merge passes, each pass reading every run
   through an ``L``-element window (Algorithm 2's cyclic buffer applied
   to files).
+* :mod:`repro.external.planner` — SPM merge planning over disk runs:
+  merge-path style diagonal intersections over run key samples cut the
+  k-way fan-in into disjoint, memory-budgeted key-range blocks.
+* :mod:`repro.external.parallel` — the SPM-planned, process-parallel
+  pipeline: run formation and block merges as batched backend
+  dispatches, per-shard I/O folding, full cleanup on failure.
 """
 
 from .io_model import IOCounter, aggarwal_vitter_bound
+from .parallel import ExtSortReport, external_sort_file
+from .planner import MergePlan, kth_of_runs, plan_blocks
 from .runs import RunFile, form_runs
 from .sort import external_sort, merge_run_files
 
@@ -30,4 +38,9 @@ __all__ = [
     "form_runs",
     "external_sort",
     "merge_run_files",
+    "MergePlan",
+    "plan_blocks",
+    "kth_of_runs",
+    "ExtSortReport",
+    "external_sort_file",
 ]

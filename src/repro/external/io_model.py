@@ -41,6 +41,24 @@ class IOCounter:
             raise InputError("cannot write a negative element count")
         self.write_blocks += -(-elements // self.block_elements) if elements else 0
 
+    def merge(self, other: "IOCounter") -> None:
+        """Fold another counter in (per-shard → run aggregation).
+
+        Mirrors :meth:`repro.obs.metrics.Histogram.merge`: parallel
+        phases charge a private per-shard counter each and the driver
+        folds them in task order, so totals are deterministic no matter
+        how the backend interleaved the workers.  Both counters must
+        use the same block size — a fold across block sizes would mix
+        incomparable units.
+        """
+        if other.block_elements != self.block_elements:
+            raise InputError(
+                f"cannot merge IOCounters with different block sizes "
+                f"({self.block_elements} vs {other.block_elements})"
+            )
+        self.read_blocks += other.read_blocks
+        self.write_blocks += other.write_blocks
+
     @property
     def total_blocks(self) -> int:
         return self.read_blocks + self.write_blocks

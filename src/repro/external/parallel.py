@@ -1,0 +1,424 @@
+"""SPM-planned, process-parallel external sort over disk-resident runs.
+
+The serial pipeline in :mod:`repro.external.sort` merges runs one
+element at a time through a heap.  This module replaces both phases
+with the batched execution engine:
+
+**Run formation** — every memory-sized chunk sort is one task of a
+single :class:`~repro.backends.TaskBatch` (label ``extsort.runs``),
+exactly like round 0 of :func:`repro.execution.engine.run_chunk_sorts`.
+Workers are module-level functions taking ``(path, offset)`` tuples, so
+the process pool pickles a few integers per task, never element data —
+the file system is the arena.
+
+**Merge fan-in** — each pass plans the k-way merge with
+:func:`repro.external.planner.plan_blocks` (merge-path diagonal
+intersections over run key samples) and dispatches all blocks of all
+groups as one ``TaskBatch`` (label ``extsort.pass``).  Blocks cover
+disjoint key ranges and write disjoint slices of a pre-created output
+memmap (Theorem 14 one level up), so block tasks are idempotent —
+safe to retry or speculate on a
+:class:`~repro.resilience.DegradingBackend` chain, and dispatch count
+is one per pass (+1 for run formation): sub-linear in block count.
+
+Each worker charges a private :class:`~repro.external.io_model.
+IOCounter` shard; the driver folds shards in task order
+(:meth:`IOCounter.merge`), so parallel transfer counts are
+deterministic no matter how the backend interleaved the workers.
+
+Every run/merge file created by a call is tracked and unlinked if the
+call fails, so caller-supplied spill directories are left clean on
+error; on success only the final sorted file remains.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..backends import Backend, TaskBatch
+from ..core.parallel_merge import _TracerScope, _flush_telemetry, _resolve_execution
+from ..core.sequential import merge_into
+from ..errors import InputError
+from ..execution.engine import _publish_times
+from ..obs.tracer import NULL_SPAN
+from ..validation import check_positive
+from .io_model import IOCounter, aggarwal_vitter_bound
+from .planner import plan_blocks
+from .runs import RunFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Tracer
+    from ..resilience import ExecutionTelemetry, RetryPolicy
+
+__all__ = ["ExtSortReport", "external_sort_file"]
+
+#: Cap on runs merged per pass; bounds simultaneously-open memmaps.
+MAX_FAN_IN = 256
+
+
+@dataclass(frozen=True)
+class ExtSortReport:
+    """Accounting for one :func:`external_sort_file` call.
+
+    ``transfer_ratio`` is measured block transfers over the
+    Aggarwal–Vitter sorting bound — the figure of merit the CI smoke
+    job gates on (``None`` when the input fits in memory, where the
+    bound is zero).
+    """
+
+    n: int
+    dtype: str
+    memory_elements: int
+    block_elements: int
+    io_block_elements: int
+    fan_in: int
+    runs: int
+    passes: int
+    blocks: int
+    dispatches: int
+    read_blocks: int
+    write_blocks: int
+    total_blocks: int
+    av_bound_blocks: float
+    transfer_ratio: float | None
+    probe_elements: int
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+# ---------------------------------------------------------------------------
+# Picklable workers (module-level: the process pool ships names + tuples)
+# ---------------------------------------------------------------------------
+
+def _form_run_task(args: tuple) -> dict:
+    """Sort one memory-sized chunk of the input file into a run file."""
+    in_path, lo, hi, run_path, io_block = args
+    shard = IOCounter(block_elements=io_block)
+    mm = np.load(in_path, mmap_mode="r")
+    chunk = np.array(mm[lo:hi])  # materialize the window; drop the map
+    del mm
+    shard.charge_read(len(chunk))
+    np.save(run_path, np.sort(chunk, kind="mergesort"))
+    shard.charge_write(len(chunk))
+    return {"length": len(chunk), "io": shard}
+
+
+def _tournament(slabs: list[np.ndarray], dtype: np.dtype, kernel: str) -> np.ndarray:
+    """Adjacent-pair merge of sorted slabs down to one array.
+
+    Adjacent pairing preserves run-order tie-breaking (same argument as
+    :func:`repro.core.kway._tournament`): the kernel is stable A-first,
+    so lower-indexed runs' elements always land first among equals.
+    """
+    if not slabs:
+        return np.empty(0, dtype=dtype)
+    while len(slabs) > 1:
+        nxt = []
+        for i in range(0, len(slabs) - 1, 2):
+            a, b = slabs[i], slabs[i + 1]
+            buf = np.empty(len(a) + len(b), dtype=np.promote_types(a.dtype, b.dtype))
+            merge_into(buf, a, b, kernel=kernel)
+            nxt.append(buf)
+        if len(slabs) % 2:
+            nxt.append(slabs[-1])
+        slabs = nxt
+    return slabs[0].astype(dtype, copy=False)
+
+
+def _merge_block_task(args: tuple) -> dict:
+    """Merge one planned key-range block into its disjoint output slice.
+
+    Opens its own memmaps, reads exactly the planned window of each run,
+    merges through the dispatched kernel, and writes only
+    ``[out_lo, out_hi)`` of the pre-created output — rerunning the task
+    is byte-identical (idempotent), which is what lets the resilience
+    chain retry or speculate it freely.
+    """
+    run_paths, cut_lo, cut_hi, out_path, out_lo, out_hi, kernel, io_block = args
+    shard = IOCounter(block_elements=io_block)
+    slabs: list[np.ndarray] = []
+    for path, lo, hi in zip(run_paths, cut_lo, cut_hi):
+        if hi <= lo:
+            continue
+        mm = np.load(path, mmap_mode="r")
+        window = np.array(mm[lo:hi])
+        del mm
+        shard.charge_read(len(window))
+        slabs.append(window)
+    out = np.load(out_path, mmap_mode="r+")
+    merged = _tournament(slabs, out.dtype, kernel)
+    if len(merged) != out_hi - out_lo:  # pragma: no cover - plan invariant
+        raise AssertionError(
+            f"block produced {len(merged)} elements for a "
+            f"{out_hi - out_lo}-element slice"
+        )
+    out[out_lo:out_hi] = merged
+    out.flush()
+    del out
+    shard.charge_write(out_hi - out_lo)
+    return {"io": shard}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def _unlink(path: str) -> None:
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def external_sort_file(
+    in_path: str,
+    *,
+    memory_elements: int,
+    directory: str,
+    out_path: str | None = None,
+    fan_in: int | None = None,
+    block_elements: int | None = None,
+    io: IOCounter | None = None,
+    backend: Backend | str = "processes",
+    workers: int | None = None,
+    kernel: str = "auto",
+    resilience: "RetryPolicy | bool | None" = None,
+    telemetry: "ExecutionTelemetry | None" = None,
+    trace: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> tuple[RunFile, ExtSortReport]:
+    """Sort a ``.npy`` file bigger than memory; return the sorted file.
+
+    Parameters
+    ----------
+    in_path:
+        1-D ``.npy`` input (read through a memory map, never loaded
+        whole).
+    memory_elements:
+        The RAM budget ``M``: run size, and (halved) the per-block
+        working-set cap during merges.
+    directory:
+        Spill directory for runs and merge outputs.  Must exist.  On
+        failure every file this call created is unlinked; on success
+        only the final sorted file remains.
+    out_path:
+        Where to put the sorted output (``os.replace`` of the final
+        run); default keeps it in ``directory``.
+    fan_in:
+        Runs merged per pass.  Default: all of them (capped at
+        :data:`MAX_FAN_IN`) — unlike the heap path, SPM block planning
+        bounds memory by *block size*, not per-run windows, so full-width
+        single-pass fan-in is free and strictly fewer passes result.
+    block_elements:
+        Per-block output cap (default ``M // 2``: one block's input
+        windows plus its output slice together fit the budget).
+    io:
+        Optional caller :class:`IOCounter`; otherwise an internal one
+        with ``B = max(1, M // 8)`` is used.  Per-worker shards are
+        folded into it in task order.
+    backend, workers, kernel, resilience, telemetry, trace, metrics:
+        The standard execution surface — same semantics as
+        :func:`repro.core.parallel_merge.parallel_merge`.  ``kernel``
+        resolves ``"auto"`` through the autotuner *in the driver* (each
+        worker process has its own autotuner singleton, so the decision
+        must ship with the task).
+    """
+    check_positive(memory_elements, "memory_elements")
+    if not os.path.isdir(directory):
+        raise InputError(f"spill directory {directory!r} does not exist")
+    header = np.load(in_path, mmap_mode="r")
+    if header.ndim != 1:
+        raise InputError("external sort input must be 1-D")
+    n = int(header.shape[0])
+    dtype = header.dtype
+    del header
+
+    if block_elements is None:
+        block_elements = max(1, memory_elements // 2)
+    check_positive(block_elements, "block_elements")
+    counter = io if io is not None else IOCounter(
+        block_elements=max(1, memory_elements // 8)
+    )
+    io_block = counter.block_elements
+    p = workers if workers is not None else (os.cpu_count() or 1)
+    check_positive(p, "workers")
+
+    from ..execution.autotune import get_autotuner
+
+    resolved_kernel = get_autotuner().resolve_kernel(
+        kernel, max(1, min(block_elements, memory_elements))
+    )
+
+    t0 = time.perf_counter()
+    be, owned, t_start = _resolve_execution(
+        backend, p, resilience, telemetry, metrics, n=n, trace=trace
+    )
+    d_start = be.dispatches
+    created: list[str] = []
+    passes = 0
+    blocks_total = 0
+    probe_total = 0
+    try:
+        with _TracerScope(be, trace):
+            # --- phase 1: run formation, one batch --------------------
+            run_specs: list[tuple[int, int, str]] = []
+            for lo in range(0, n, memory_elements):
+                hi = min(n, lo + memory_elements)
+                rpath = os.path.join(
+                    directory, f"extsort-run-{uuid.uuid4().hex}.npy"
+                )
+                created.append(rpath)
+                run_specs.append((lo, hi, rpath))
+            if run_specs:
+                results = be.run_batch(TaskBatch(
+                    [
+                        functools.partial(
+                            _form_run_task, (in_path, lo, hi, rpath, io_block)
+                        )
+                        for lo, hi, rpath in run_specs
+                    ],
+                    label="extsort.runs", meta={"runs": len(run_specs)},
+                ))
+                _publish_times(metrics, results)
+                for r in results:
+                    counter.merge(r.value["io"])
+            runs = [
+                RunFile(path=rpath, length=hi - lo, dtype=str(dtype))
+                for lo, hi, rpath in run_specs
+            ]
+            if not runs:
+                epath = os.path.join(
+                    directory, f"extsort-empty-{uuid.uuid4().hex}.npy"
+                )
+                created.append(epath)
+                np.save(epath, np.empty(0, dtype=dtype))
+                runs = [RunFile(path=epath, length=0, dtype=str(dtype))]
+            formed = len(run_specs)
+
+            # --- phase 2: SPM-planned merge passes --------------------
+            if fan_in is None:
+                fan_in = min(max(2, len(runs)), MAX_FAN_IN)
+            if fan_in < 2:
+                raise InputError("fan_in must be >= 2")
+            while len(runs) > 1:
+                passes += 1
+                groups = [
+                    runs[glo : glo + fan_in]
+                    for glo in range(0, len(runs), fan_in)
+                ]
+                merged: list[RunFile | None] = []
+                tasks = []
+                for group in groups:
+                    if len(group) == 1:
+                        merged.append(None)
+                        continue
+                    span = (
+                        trace.span("extsort.plan", runs=len(group))
+                        if trace is not None else NULL_SPAN
+                    )
+                    with span:
+                        plan = plan_blocks(group, block_elements, io=counter)
+                    probe_total += plan.probe_elements
+                    gdtype = np.result_type(
+                        *[np.dtype(r.dtype) for r in group]
+                    )
+                    opath = os.path.join(
+                        directory, f"extsort-merge-{uuid.uuid4().hex}.npy"
+                    )
+                    created.append(opath)
+                    out = np.lib.format.open_memmap(
+                        opath, mode="w+", dtype=gdtype, shape=(plan.total,)
+                    )
+                    del out  # workers reopen "r+" and fill disjoint slices
+                    paths = tuple(r.path for r in group)
+                    for j in range(plan.blocks):
+                        tasks.append(functools.partial(_merge_block_task, (
+                            paths, plan.cuts[j], plan.cuts[j + 1], opath,
+                            plan.offsets[j], plan.offsets[j + 1],
+                            resolved_kernel, io_block,
+                        )))
+                    blocks_total += plan.blocks
+                    merged.append(
+                        RunFile(path=opath, length=plan.total,
+                                dtype=str(gdtype))
+                    )
+                if tasks:
+                    results = be.run_batch(TaskBatch(
+                        tasks, label="extsort.pass",
+                        meta={"pass": passes, "blocks": len(tasks)},
+                    ))
+                    _publish_times(metrics, results)
+                    for r in results:
+                        counter.merge(r.value["io"])
+                next_runs: list[RunFile] = []
+                for group, out_run in zip(groups, merged):
+                    if out_run is None:
+                        next_runs.append(group[0])
+                    else:
+                        next_runs.append(out_run)
+                        for r in group:  # consumed: reclaim disk now
+                            r.unlink()
+                runs = next_runs
+
+            final = runs[0]
+            if out_path is not None and final.path != out_path:
+                os.replace(final.path, out_path)
+                final = RunFile(path=out_path, length=final.length,
+                                dtype=final.dtype)
+
+            elapsed = time.perf_counter() - t0
+            bound = (
+                aggarwal_vitter_bound(n, memory_elements, io_block)
+                if n > 0 and memory_elements > io_block else 0.0
+            )
+            ratio = counter.total_blocks / bound if bound > 0 else None
+            dispatched = be.dispatches - d_start
+            if metrics is not None:
+                metrics.counter("extsort.calls").inc()
+                metrics.counter("extsort.runs").inc(formed)
+                metrics.counter("extsort.passes").inc(passes)
+                metrics.counter("extsort.blocks").inc(blocks_total)
+                if ratio is not None:
+                    metrics.gauge("extsort.transfer_ratio").set(ratio)
+            report = ExtSortReport(
+                n=n, dtype=str(dtype),
+                memory_elements=memory_elements,
+                block_elements=block_elements,
+                io_block_elements=io_block,
+                fan_in=fan_in if n > memory_elements else 0,
+                runs=formed, passes=passes, blocks=blocks_total,
+                dispatches=dispatched,
+                read_blocks=counter.read_blocks,
+                write_blocks=counter.write_blocks,
+                total_blocks=counter.total_blocks,
+                av_bound_blocks=round(bound, 3),
+                transfer_ratio=(
+                    round(ratio, 4) if ratio is not None else None
+                ),
+                probe_elements=probe_total,
+                elapsed_s=round(elapsed, 6),
+            )
+            return final, report
+    except BaseException:
+        # Satellite: never leak spill files into a caller's directory —
+        # everything this call created is unlinked before re-raising.
+        for path in created:
+            _unlink(path)
+        raise
+    finally:
+        _flush_telemetry(be, t_start, telemetry)
+        if metrics is not None:
+            dispatched = be.dispatches - d_start
+            metrics.counter("exec.dispatches").inc(dispatched)
+            metrics.gauge("exec.dispatches_per_call").set(dispatched)
+        if owned:
+            be.close()

@@ -47,6 +47,44 @@ class RunFile:
                 io.charge_read(len(chunk))
             yield chunk
 
+    def open_memmap(self) -> np.ndarray:
+        """Read-only memory map of the run.
+
+        Nothing is resident until touched; binary searches
+        (``np.searchsorted``) over the map cost ``O(log n)`` page
+        touches, which is what the SPM merge planner
+        (:mod:`repro.external.planner`) exploits to plan block
+        boundaries without loading runs.
+        """
+        return np.load(self.path, mmap_mode="r")
+
+    def read_range(
+        self, lo: int, hi: int, io: IOCounter | None = None
+    ) -> np.ndarray:
+        """Materialize the window ``[lo, hi)`` (charged to ``io``).
+
+        The block-merge workers use this to pull exactly their planned
+        key-range window of each run into memory — the disk analogue of
+        Algorithm 2's cache-resident segment windows.
+        """
+        if not 0 <= lo <= hi <= self.length:
+            raise InputError(
+                f"window [{lo}, {hi}) out of bounds for run of "
+                f"length {self.length}"
+            )
+        mm = np.load(self.path, mmap_mode="r")
+        window = np.array(mm[lo:hi])  # materialize; drop the map
+        if io is not None:
+            io.charge_read(len(window))
+        return window
+
+    def unlink(self) -> None:
+        """Delete the backing file (idempotent: missing files are fine)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
     def read_all(self) -> np.ndarray:
         """Whole run (tests / final small outputs only)."""
         return np.load(self.path)
@@ -55,8 +93,12 @@ class RunFile:
 def _write_run(data: np.ndarray, directory: str, io: IOCounter | None) -> RunFile:
     path = os.path.join(directory, f"run-{uuid.uuid4().hex}.npy")
     np.save(path, data)
-    if io is not None:
-        io.charge_write(len(data))
+    try:
+        if io is not None:
+            io.charge_write(len(data))
+    except BaseException:
+        os.unlink(path)  # the charge failed after the spill: no orphan
+        raise
     return RunFile(path=path, length=len(data), dtype=str(data.dtype))
 
 
@@ -78,35 +120,43 @@ def form_runs(
         raise InputError(f"run directory {directory!r} does not exist")
     runs: list[RunFile] = []
 
-    if isinstance(data, np.ndarray):
-        if data.ndim != 1:
-            raise InputError("external sort input must be 1-D")
-        for lo in range(0, len(data), memory_elements):
-            chunk = data[lo : lo + memory_elements]
+    try:
+        if isinstance(data, np.ndarray):
+            if data.ndim != 1:
+                raise InputError("external sort input must be 1-D")
+            for lo in range(0, len(data), memory_elements):
+                chunk = data[lo : lo + memory_elements]
+                if io is not None:
+                    io.charge_read(len(chunk))
+                runs.append(_write_run(np.sort(chunk, kind="mergesort"),
+                                       directory, io))
+            return runs
+
+        buffer: list = []
+        count = 0
+        for item in data:
+            values = np.atleast_1d(np.asarray(item))
+            for v in values:
+                buffer.append(v)
+                count += 1
+                if count >= memory_elements:
+                    arr = np.asarray(buffer)
+                    if io is not None:
+                        io.charge_read(len(arr))
+                    runs.append(_write_run(np.sort(arr, kind="mergesort"),
+                                           directory, io))
+                    buffer = []
+                    count = 0
+        if buffer:
+            arr = np.asarray(buffer)
             if io is not None:
-                io.charge_read(len(chunk))
-            runs.append(_write_run(np.sort(chunk, kind="mergesort"),
+                io.charge_read(len(arr))
+            runs.append(_write_run(np.sort(arr, kind="mergesort"),
                                    directory, io))
         return runs
-
-    buffer: list = []
-    count = 0
-    for item in data:
-        values = np.atleast_1d(np.asarray(item))
-        for v in values:
-            buffer.append(v)
-            count += 1
-            if count >= memory_elements:
-                arr = np.asarray(buffer)
-                if io is not None:
-                    io.charge_read(len(arr))
-                runs.append(_write_run(np.sort(arr, kind="mergesort"),
-                                       directory, io))
-                buffer = []
-                count = 0
-    if buffer:
-        arr = np.asarray(buffer)
-        if io is not None:
-            io.charge_read(len(arr))
-        runs.append(_write_run(np.sort(arr, kind="mergesort"), directory, io))
-    return runs
+    except BaseException:
+        # Don't leak already-spilled runs into the caller's directory
+        # when formation dies mid-way (e.g. disk full).
+        for run in runs:
+            run.unlink()
+        raise

@@ -91,23 +91,34 @@ def merge_run_files(
     out = np.lib.format.open_memmap(
         out_path, mode="w+", dtype=dtype, shape=(total,)
     )
-    written = 0
-    pending = 0
-    while heap:
-        value, t = heapq.heappop(heap)
-        out[written] = cursors[t].pop()
-        written += 1
-        pending += 1
-        if pending >= window_elements:
-            if io is not None:
-                io.charge_write(pending)
-            pending = 0
-        if not cursors[t].exhausted:
-            heapq.heappush(heap, (cursors[t].head(), t))
-    if pending and io is not None:
-        io.charge_write(pending)
-    out.flush()
-    del out
+    try:
+        written = 0
+        pending = 0
+        while heap:
+            value, t = heapq.heappop(heap)
+            out[written] = cursors[t].pop()
+            written += 1
+            pending += 1
+            if pending >= window_elements:
+                if io is not None:
+                    io.charge_write(pending)
+                pending = 0
+            if not cursors[t].exhausted:
+                heapq.heappush(heap, (cursors[t].head(), t))
+        if pending and io is not None:
+            io.charge_write(pending)
+        out.flush()
+        del out
+    except BaseException:
+        # A merge that dies mid-way must not leak its partial output
+        # into the caller's directory (the memmap handle first, so the
+        # unlink is effective on every platform).
+        del out
+        try:
+            os.unlink(out_path)
+        except FileNotFoundError:
+            pass
+        raise
     return RunFile(path=out_path, length=total, dtype=str(dtype))
 
 
@@ -119,6 +130,15 @@ def external_sort(
     window_elements: int | None = None,
     fan_in: int | None = None,
     io: IOCounter | None = None,
+    parallel: bool = False,
+    backend="processes",
+    workers: int | None = None,
+    kernel: str = "auto",
+    block_elements: int | None = None,
+    resilience=None,
+    telemetry=None,
+    trace=None,
+    metrics=None,
 ) -> np.ndarray:
     """Sort an array larger than the memory budget via disk runs.
 
@@ -131,13 +151,29 @@ def external_sort(
         ``fan_in * window + output window`` during merge passes.
     directory:
         Spill directory; a temporary directory (cleaned up) by default.
+        On failure every intermediate file this call created is
+        unlinked, so a caller-supplied directory is left clean; on
+        success the final sorted run file remains (intermediates are
+        reclaimed as each pass consumes them).
     window_elements:
         Per-run read window ``L`` during merges (default ``M // 8``,
-        min 1).
+        min 1).  Serial path only.
     fan_in:
-        Runs merged per pass (default: as many as the windows allow).
+        Runs merged per pass (default: as many as the windows allow on
+        the serial path; all runs at once on the parallel path).
     io:
         Optional :class:`~repro.external.io_model.IOCounter`.
+    parallel:
+        Route through the SPM-planned batched pipeline
+        (:func:`repro.external.parallel.external_sort_file`): run
+        formation and block merges fan out over ``backend`` as
+        :class:`~repro.backends.TaskBatch` dispatches, with merge-path
+        planned, memory-budgeted, idempotent block merges replacing the
+        element-at-a-time heap.
+    backend, workers, kernel, block_elements, resilience, telemetry, \
+trace, metrics:
+        Parallel-path execution surface, forwarded to
+        :func:`~repro.external.parallel.external_sort_file`.
 
     Returns
     -------
@@ -145,6 +181,13 @@ def external_sort(
         The sorted data (loaded from the final run).
     """
     check_positive(memory_elements, "memory_elements")
+    if parallel:
+        return _external_sort_parallel(
+            data, memory_elements, directory=directory, fan_in=fan_in,
+            io=io, backend=backend, workers=workers, kernel=kernel,
+            block_elements=block_elements, resilience=resilience,
+            telemetry=telemetry, trace=trace, metrics=metrics,
+        )
     if window_elements is None:
         window_elements = max(1, memory_elements // 8)
     if fan_in is None:
@@ -154,19 +197,88 @@ def external_sort(
 
     with tempfile.TemporaryDirectory() as tmp:
         workdir = directory or tmp
-        runs = form_runs(data, memory_elements, workdir, io=io)
-        if not runs:
-            return np.array([], dtype=data.dtype if hasattr(data, "dtype")
-                            else np.float64)
-        # merge passes until a single run remains
-        while len(runs) > 1:
-            next_runs: list[RunFile] = []
-            for lo in range(0, len(runs), fan_in):
-                group = runs[lo : lo + fan_in]
-                next_runs.append(
-                    merge_run_files(
+        created: list[RunFile] = []
+        try:
+            runs = form_runs(data, memory_elements, workdir, io=io)
+            created.extend(runs)
+            if not runs:
+                return np.array([], dtype=data.dtype if hasattr(data, "dtype")
+                                else np.float64)
+            # merge passes until a single run remains
+            while len(runs) > 1:
+                next_runs: list[RunFile] = []
+                for lo in range(0, len(runs), fan_in):
+                    group = runs[lo : lo + fan_in]
+                    merged = merge_run_files(
                         group, workdir, window_elements=window_elements, io=io
                     )
-                )
-            runs = next_runs
-        return runs[0].read_all()
+                    created.append(merged)
+                    next_runs.append(merged)
+                # Consumed inputs are dead weight on disk now; reclaim
+                # them (a 1-run group passes through — don't touch it).
+                carried = {r.path for r in next_runs}
+                for r in runs:
+                    if r.path not in carried:
+                        r.unlink()
+                runs = next_runs
+            return runs[0].read_all()
+        except BaseException:
+            # Leave caller-supplied directories clean on failure: unlink
+            # every run/merge file this call created (idempotent).
+            for r in created:
+                r.unlink()
+            raise
+
+
+def _external_sort_parallel(
+    data: np.ndarray,
+    memory_elements: int,
+    *,
+    directory: str | None,
+    fan_in: int | None,
+    io: IOCounter | None,
+    backend,
+    workers: int | None,
+    kernel: str,
+    block_elements: int | None,
+    resilience,
+    telemetry,
+    trace,
+    metrics,
+) -> np.ndarray:
+    """Stage ``data`` to a file and run the SPM-planned parallel sort."""
+    from ..validation import as_array
+    from .parallel import external_sort_file
+
+    arr = as_array(data, "data")
+    if len(arr) == 0:
+        return np.array([], dtype=arr.dtype)
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = directory or tmp
+        in_path = os.path.join(workdir, f"extsort-in-{uuid.uuid4().hex}.npy")
+        # Staging stands in for the input file already living on disk;
+        # the run-formation workers charge its read, so the write is
+        # not charged to ``io``.
+        np.save(in_path, arr)
+        try:
+            final, _report = external_sort_file(
+                in_path,
+                memory_elements=memory_elements,
+                directory=workdir,
+                fan_in=fan_in,
+                block_elements=block_elements,
+                io=io,
+                backend=backend,
+                workers=workers,
+                kernel=kernel,
+                resilience=resilience,
+                telemetry=telemetry,
+                trace=trace,
+                metrics=metrics,
+            )
+        finally:
+            try:
+                os.unlink(in_path)
+            except FileNotFoundError:
+                pass
+        return final.read_all()

@@ -1,7 +1,8 @@
 """Bench-regression emitter: ``BENCH_<date>.json`` snapshots.
 
 A deliberately small, reproducible suite — merge / segmented merge /
-sort over a size-and-``p`` grid — timed *untraced* (best of three) so
+sort / out-of-core external sort over a size-and-``p`` grid — timed
+*untraced* (best of three) so
 the numbers reflect the kernels, then run once more *traced* to attach
 the load-balance story and once more *metered* to attach the batched
 execution engine's dispatch accounting.  The output is a flat JSON
@@ -53,6 +54,7 @@ import numpy as np
 from ..core.merge_sort import parallel_merge_sort
 from ..core.parallel_merge import parallel_merge
 from ..core.segmented_merge import segmented_parallel_merge
+from ..external.sort import external_sort
 from ..workloads.generators import sorted_uniform_ints, unsorted_uniform_ints
 from .balance import load_balance_from_trace
 from .metrics import MetricsRegistry
@@ -89,11 +91,12 @@ def _bench_case(
     traced: Callable[[Tracer], object],
     metered: Callable[[MetricsRegistry], object],
     out_len: int,
+    balance_span: str = "segment.merge",
 ) -> dict:
     best, runs = _time_best(untraced)
     tracer = Tracer()
     traced(tracer)
-    report = load_balance_from_trace(tracer)
+    report = load_balance_from_trace(tracer, balance_span)
     registry = MetricsRegistry()
     metered(registry)
     names = registry.names()
@@ -162,6 +165,25 @@ def run_bench_suite(*, quick: bool = False, seed: int = 7) -> dict:
                 lambda reg: parallel_merge_sort(x, p, backend="threads",
                                                 metrics=reg),
                 n,
+            ))
+            # Out-of-core path under a 1/8 RAM budget: 8 spilled runs,
+            # SPM-planned single-pass block fan-in (docs/external.md).
+            M = max(1, n // 8)
+            results.append(_bench_case(
+                "external_sort", n, p,
+                lambda: external_sort(x, M, parallel=True,
+                                      backend="threads", workers=p),
+                lambda tr: external_sort(x, M, parallel=True,
+                                         backend="threads", workers=p,
+                                         trace=tr),
+                lambda reg: external_sort(x, M, parallel=True,
+                                          backend="threads", workers=p,
+                                          metrics=reg),
+                n,
+                # the out-of-core pipeline's unit of parallel work is
+                # the batch task (runs / block merges), not an in-RAM
+                # merge segment
+                balance_span="backend.task",
             ))
 
     created = _dt.datetime.now(_dt.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")

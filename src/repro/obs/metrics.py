@@ -47,6 +47,12 @@ Metric name conventions (full table in ``docs/observability.md``):
 ``autotune.cache_corrupt``
     Calibration-cache loads that found garbage bytes instead of JSON
     (each is a counted miss, never a crash; see ``repro.durable``).
+``extsort.calls`` / ``.runs`` / ``.passes`` / ``.blocks`` and gauge
+``extsort.transfer_ratio``
+    The SPM-planned parallel external sort
+    (:mod:`repro.external.parallel`): invocations, runs formed, merge
+    passes, planned block merges, and the last call's measured block
+    transfers over the Aggarwal–Vitter sorting bound.
 ``serve.requests`` / ``.responses`` / ``.shed`` / ``.bad_requests`` /
 ``.errors`` / ``.deadline_misses`` / ``.connections`` /
 ``.degradations`` / ``.recoveries`` / ``.batches`` /

@@ -21,7 +21,7 @@ class TestBenchSuite:
         assert doc["host"]["python"]
         ops = {r["op"] for r in doc["results"]}
         assert ops == {"parallel_merge", "segmented_parallel_merge",
-                       "parallel_merge_sort"}
+                       "parallel_merge_sort", "external_sort"}
         for row in doc["results"]:
             assert row["ns_per_elem"] > 0
             assert row["best_s"] == min(row["runs_s"])

@@ -37,6 +37,69 @@ class TestIOCounter:
             IOCounter(block_elements=0)
 
 
+class TestIOCounterMerge:
+    def test_fold_adds_counts(self):
+        a = IOCounter(block_elements=64)
+        b = IOCounter(block_elements=64)
+        a.charge_read(128)
+        b.charge_read(64)
+        b.charge_write(256)
+        a.merge(b)
+        assert a.read_blocks == 3
+        assert a.write_blocks == 4
+        # the folded shard is unchanged
+        assert b.read_blocks == 1 and b.write_blocks == 4
+
+    def test_fold_order_deterministic(self):
+        """Folding shards in task order gives the same totals no matter
+        how the backend interleaved the workers — counts are additive."""
+        shards = []
+        for k in range(5):
+            s = IOCounter(block_elements=16)
+            s.charge_read(16 * (k + 1))
+            shards.append(s)
+        fwd = IOCounter(block_elements=16)
+        for s in shards:
+            fwd.merge(s)
+        rev = IOCounter(block_elements=16)
+        for s in reversed(shards):
+            rev.merge(s)
+        assert fwd.total_blocks == rev.total_blocks == 15
+
+    def test_block_size_mismatch_rejected(self):
+        a = IOCounter(block_elements=64)
+        b = IOCounter(block_elements=32)
+        with pytest.raises(InputError):
+            a.merge(b)
+
+
+class TestRunFileWindows:
+    def test_read_range_window(self, tmp_path):
+        [run] = form_runs(np.arange(100), 100, str(tmp_path))
+        io = IOCounter(block_elements=8)
+        window = run.read_range(10, 26, io=io)
+        np.testing.assert_array_equal(window, np.arange(10, 26))
+        assert io.read_blocks == 2  # 16 elements in 8-element blocks
+
+    def test_read_range_bounds_checked(self, tmp_path):
+        [run] = form_runs(np.arange(10), 100, str(tmp_path))
+        with pytest.raises(InputError):
+            run.read_range(5, 11)
+        with pytest.raises(InputError):
+            run.read_range(-1, 5)
+
+    def test_unlink_idempotent(self, tmp_path):
+        [run] = form_runs(np.arange(10), 100, str(tmp_path))
+        run.unlink()
+        assert not os.path.exists(run.path)
+        run.unlink()  # second unlink is a no-op, not an error
+
+    def test_open_memmap_searchsorted(self, tmp_path):
+        [run] = form_runs(np.arange(0, 200, 2), 200, str(tmp_path))
+        mm = run.open_memmap()
+        assert int(np.searchsorted(mm, 100)) == 50
+
+
 class TestAggarwalVitterBound:
     def test_in_memory_is_free(self):
         assert aggarwal_vitter_bound(100, 1000, 10) == 0.0
@@ -156,6 +219,49 @@ class TestExternalSort:
         out = external_sort(x, 64, directory=str(tmp_path))
         np.testing.assert_array_equal(out, np.sort(x))
         assert len(os.listdir(tmp_path)) > 0  # spills visible to caller
+
+    def test_intermediates_reclaimed_on_success(self, tmp_path):
+        """Consumed runs are unlinked pass by pass: only the final
+        sorted run survives in a caller-supplied directory."""
+        x = np.random.default_rng(9).integers(0, 999, 800)
+        out = external_sort(x, 100, fan_in=2, directory=str(tmp_path))
+        np.testing.assert_array_equal(out, np.sort(x))
+        assert len(os.listdir(tmp_path)) == 1
+
+
+class _DiskFull(IOCounter):
+    """IOCounter that raises after a write budget — a seeded disk-full."""
+
+    def __init__(self, write_calls: int) -> None:
+        super().__init__(block_elements=16)
+        self.calls = 0
+        self.limit = write_calls
+
+    def charge_write(self, elements: int) -> None:
+        self.calls += 1
+        if self.calls > self.limit:
+            raise RuntimeError("disk full (injected)")
+        super().charge_write(elements)
+
+
+class TestLeakOnFailure:
+    def test_merge_failure_leaves_directory_clean(self, tmp_path):
+        """A merge pass that raises mid-way must not leak run files into
+        the caller's directory (the try/finally unlink satellite)."""
+        x = np.random.default_rng(10).integers(0, 999, 300)
+        # 300 elems / 64 per run = 5 runs = 5 formation writes; the 6th
+        # write charge is the first merge output window -> boom.
+        io = _DiskFull(write_calls=5)
+        with pytest.raises(RuntimeError, match="disk full"):
+            external_sort(x, 64, directory=str(tmp_path), io=io)
+        assert os.listdir(tmp_path) == []
+
+    def test_formation_failure_leaves_directory_clean(self, tmp_path):
+        x = np.random.default_rng(11).integers(0, 999, 300)
+        io = _DiskFull(write_calls=2)  # dies while still forming runs
+        with pytest.raises(RuntimeError, match="disk full"):
+            external_sort(x, 64, directory=str(tmp_path), io=io)
+        assert os.listdir(tmp_path) == []
 
 
 class TestMergeRunStability:
